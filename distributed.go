@@ -1,0 +1,44 @@
+package groupfel
+
+import (
+	"repro/internal/core"
+	"repro/internal/hfl"
+	"repro/internal/simnet"
+)
+
+// Distributed execution: Group-FEL rounds as real message exchanges over
+// the simulated edge network with secure aggregation inside groups
+// (internal/hfl). The in-process Train is the fast path; this is the
+// protocol-faithful path.
+type (
+	// DistributedRoundConfig parameterizes one distributed global round.
+	DistributedRoundConfig = hfl.RoundConfig
+	// DistributedRoundResult reports the outcome and wall-clock time.
+	DistributedRoundResult = hfl.RoundResult
+	// NetworkTopology models client–edge and edge–cloud links.
+	NetworkTopology = simnet.Topology
+	// NetworkLink is one latency/bandwidth link.
+	NetworkLink = simnet.Link
+)
+
+// RunDistributedRound executes one global round of Alg. 1 for the selected
+// groups as a message exchange over the simulated network, with
+// secure-aggregation-masked group aggregation.
+func RunDistributedRound(sys *System, groups []*Group, selected []int, globalParams []float64, cfg DistributedRoundConfig) (*DistributedRoundResult, error) {
+	return hfl.RunGlobalRound(sys, groups, selected, globalParams, cfg)
+}
+
+// DefaultTopology returns edge-computing-typical link parameters.
+func DefaultTopology() NetworkTopology { return simnet.Default() }
+
+// Checkpointing: resumable training snapshots.
+type (
+	// Checkpoint is a resumable training snapshot.
+	Checkpoint = core.Checkpoint
+)
+
+// CheckpointOf snapshots a finished (or budget-stopped) run.
+func CheckpointOf(res *Result) Checkpoint { return core.FromResult(res) }
+
+// LoadCheckpoint reads a checkpoint written by Checkpoint.Save.
+func LoadCheckpoint(path string) (Checkpoint, error) { return core.LoadCheckpoint(path) }

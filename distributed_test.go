@@ -1,0 +1,70 @@
+package groupfel_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	groupfel "repro"
+)
+
+func TestPublicAPIDistributedRound(t *testing.T) {
+	sys := newSystem(21)
+	groups := groupfel.FormGroups(
+		groupfel.CoVGrouping{Config: groupfel.GroupingConfig{MinGS: 3, MaxCoV: 0.6, MergeLeftover: true}},
+		sys.Edges, sys.Classes, 4)
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	params := sys.NewModel(sys.ModelSeed).ParamVector()
+	res, err := groupfel.RunDistributedRound(sys, groups, []int{0}, params,
+		groupfel.DistributedRoundConfig{
+			GroupRounds: 2, LocalEpochs: 1, BatchSize: 8, LR: 0.05, Seed: 1,
+			Topology: groupfel.DefaultTopology(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallClock <= 0 || len(res.Params) != len(params) {
+		t.Fatalf("bad result: wall=%v params=%d", res.WallClock, len(res.Params))
+	}
+	if res.MaskStreams == 0 {
+		t.Fatal("secure aggregation did not run")
+	}
+}
+
+func TestPublicAPICheckpoint(t *testing.T) {
+	sys := newSystem(22)
+	cfg := baseConfig()
+	cfg.GlobalRounds = 3
+	res := groupfel.Train(sys, cfg)
+	ck := groupfel.CheckpointOf(res)
+	path := filepath.Join(t.TempDir(), "ck.gob")
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := groupfel.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.RoundsDone != 3 {
+		t.Fatalf("rounds done %d", loaded.RoundsDone)
+	}
+	// Resume and finish.
+	full := baseConfig()
+	full.GlobalRounds = 5
+	resumed := groupfel.Train(sys, loaded.Resume(full))
+	if resumed.RoundsRun != 2 {
+		t.Fatalf("resumed %d rounds, want 2", resumed.RoundsRun)
+	}
+}
+
+func TestPublicAPIDropoutSimulation(t *testing.T) {
+	sys := newSystem(23)
+	cfg := baseConfig()
+	cfg.GlobalRounds = 5
+	cfg.DropoutProb = 0.3
+	res := groupfel.Train(sys, cfg)
+	if res.Dropouts == 0 {
+		t.Fatal("no dropouts simulated")
+	}
+}

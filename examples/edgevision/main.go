@@ -1,0 +1,67 @@
+// Edgevision: the paper's CIFAR-10 scenario in miniature — an image-like
+// 10-class task on an edge fleet with skewed data, comparing Group-FEL
+// against FedAvg, FedProx, and SCAFFOLD at a fixed cost budget, then
+// relating the outcome to the Theorem 1 convergence factors.
+package main
+
+import (
+	"fmt"
+
+	groupfel "repro"
+)
+
+func main() {
+	const (
+		clients = 60
+		alpha   = 0.1 // heavy label skew
+		seed    = 11
+		budget  = 30000.0
+	)
+
+	build := func() *groupfel.System {
+		gen := groupfel.SynthCIFAR(seed) // 3×8×8 image-like samples
+		return groupfel.NewSystem(groupfel.SystemConfig{
+			Generator: gen,
+			Partition: groupfel.PartitionConfig{
+				NumClients: clients, Alpha: alpha,
+				MinSamples: 15, MaxSamples: 60, MeanSamples: 35, StdSamples: 12,
+				Seed: seed + 1,
+			},
+			NumEdges: 3,
+			TestSize: 600,
+			NewModel: func(s uint64) *groupfel.Model {
+				return groupfel.NewResNetLite(3, 8, 8, 10, s)
+			},
+			ModelSeed: 7,
+		})
+	}
+
+	base := groupfel.Config{
+		GlobalRounds: 40, GroupRounds: 2, LocalEpochs: 1,
+		BatchSize: 32, LR: 0.05, SampleGroups: 4,
+		Seed:        seed,
+		CostProfile: groupfel.CIFARProfile(),
+		CostBudget:  budget,
+		EvalEvery:   4,
+	}
+	opts := groupfel.DefaultBaselineOptions(clients, 5)
+
+	fmt.Printf("CIFAR-like workload: %d clients, alpha=%.2f, budget=%.0f\n\n", clients, alpha, budget)
+	fmt.Println("method      rounds  final-acc  total-cost")
+	for _, m := range []groupfel.BaselineName{groupfel.FedAvg, groupfel.FedProx, groupfel.Scaffold, groupfel.GroupFEL} {
+		res := groupfel.RunBaseline(m, build(), base, opts)
+		fmt.Printf("%-10s  %6d  %9.4f  %10.1f\n", m, res.RoundsRun, res.FinalAccuracy, res.TotalCost)
+		if m == groupfel.GroupFEL {
+			// Relate the run to the convergence bound's structural factors.
+			params := groupfel.TheoryFromSystem(res.Groups, res.Probs, groupfel.TheoryParams{
+				Eta: base.LR, T: res.RoundsRun, K: base.GroupRounds, E: base.LocalEpochs,
+				L: 1, Sigma2: 1, Zeta2: 1, F0MinusFStar: 5, S: base.SampleGroups,
+			})
+			fmt.Printf("            theory factors: gamma=%.3f Gamma=%.3f GammaP=%.1f zetaG2~%.3f groupsize=%.1f\n",
+				params.Gamma, params.GammaBig, params.GammaP, params.ZetaG2, params.GroupSize)
+		}
+	}
+	fmt.Println("\nGroup-FEL's smaller, better-balanced groups pay less quadratic")
+	fmt.Println("overhead per round and its sampling favors low-CoV groups, so at a")
+	fmt.Println("fixed budget it completes more useful rounds (paper Figs. 9–10).")
+}

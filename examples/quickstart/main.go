@@ -1,0 +1,53 @@
+// Quickstart: train Group-FEL (CoV grouping + ESRCoV sampling) on a small
+// synthetic non-IID population and watch accuracy rise against the Eq. 5
+// cost meter.
+package main
+
+import (
+	"fmt"
+
+	groupfel "repro"
+)
+
+func main() {
+	// A 10-class task split across 40 clients on 2 edge servers with
+	// Dirichlet(0.2) label skew — each client sees only a few labels.
+	gen := groupfel.FlatTask(10, 24, 1)
+	sys := groupfel.NewSystem(groupfel.SystemConfig{
+		Generator: gen,
+		Partition: groupfel.DefaultPartition(40, 0.2, 2),
+		NumEdges:  2,
+		TestSize:  1000,
+		NewModel: func(seed uint64) *groupfel.Model {
+			return groupfel.NewMLP(24, []int{32}, 10, seed)
+		},
+		ModelSeed: 7,
+	})
+
+	cfg := groupfel.Config{
+		GlobalRounds: 25, GroupRounds: 2, LocalEpochs: 1,
+		BatchSize: 32, LR: 0.05, SampleGroups: 4,
+		Grouping: groupfel.CoVGrouping{Config: groupfel.GroupingConfig{
+			MinGS: 5, MaxCoV: 0.5, MergeLeftover: true}},
+		Sampling:    groupfel.ESRCoV,
+		Weights:     groupfel.BiasedWeights,
+		Seed:        42,
+		CostProfile: groupfel.CIFARProfile(),
+		CostOps:     groupfel.DefaultCostOps(),
+	}
+
+	res := groupfel.Train(sys, cfg)
+
+	fmt.Printf("formed %d groups from %d clients\n", len(res.Groups), len(sys.Clients))
+	for _, g := range res.Groups {
+		fmt.Printf("  group %d (edge %d): %2d clients, %4d samples, CoV %.3f\n",
+			g.ID, g.Edge, g.Size(), g.NumSamples(), g.CoV())
+	}
+	fmt.Println("\nround  accuracy   cost")
+	for _, r := range res.Records {
+		if r.Round%5 == 0 || r.Round == len(res.Records)-1 {
+			fmt.Printf("%5d  %7.4f  %9.1f\n", r.Round, r.Accuracy, r.Cost)
+		}
+	}
+	fmt.Printf("\nfinal accuracy %.4f at total cost %.1f\n", res.FinalAccuracy, res.TotalCost)
+}

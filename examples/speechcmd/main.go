@@ -1,0 +1,65 @@
+// Speechcmd: the paper's SpeechCommands scenario (Fig. 11) — 35 command
+// classes under extreme label skew (alpha = 0.01, so each client holds
+// fewer than ~5 command types), larger minimum group size, no MaxCoV
+// constraint. Convergence is noisy by design; Group-FEL still leads on
+// accuracy-per-cost.
+package main
+
+import (
+	"fmt"
+
+	groupfel "repro"
+)
+
+func main() {
+	const (
+		clients = 120
+		alpha   = 0.01
+		seed    = 5
+	)
+
+	build := func() *groupfel.System {
+		gen := groupfel.SynthSpeech(seed) // 35 classes, 1×12×12 samples
+		return groupfel.NewSystem(groupfel.SystemConfig{
+			Generator: gen,
+			Partition: groupfel.PartitionConfig{
+				NumClients: clients, Alpha: alpha,
+				MinSamples: 20, MaxSamples: 80, MeanSamples: 45, StdSamples: 15,
+				Seed: seed + 1,
+			},
+			NumEdges: 3,
+			TestSize: 700,
+			NewModel: func(s uint64) *groupfel.Model {
+				return groupfel.NewCNN5(1, 12, 12, 35, s)
+			},
+			ModelSeed: 7,
+		})
+	}
+
+	base := groupfel.Config{
+		GlobalRounds: 20, GroupRounds: 2, LocalEpochs: 1,
+		BatchSize: 32, LR: 0.05, SampleGroups: 3,
+		Seed:        seed,
+		CostProfile: groupfel.SCProfile(),
+		EvalEvery:   4,
+	}
+	// Fig. 11 setup: MinGS=15 for every method, no MaxCoV cap.
+	opts := groupfel.DefaultBaselineOptions(clients, 15)
+	opts.MinGS = 15
+	opts.MaxCoV = 0
+
+	fmt.Printf("SpeechCommands-like workload: %d clients, %d classes, alpha=%.2f\n",
+		clients, 35, alpha)
+	fmt.Println("(each client is dominated by <5 command types; convergence is unstable)")
+	fmt.Println()
+	fmt.Println("method      final-acc  total-cost   acc/10k-cost")
+	for _, m := range []groupfel.BaselineName{groupfel.FedAvg, groupfel.GroupFEL} {
+		res := groupfel.RunBaseline(m, build(), base, opts)
+		fmt.Printf("%-10s  %9.4f  %10.1f  %12.4f\n",
+			m, res.FinalAccuracy, res.TotalCost, res.FinalAccuracy/(res.TotalCost/1e4))
+	}
+	fmt.Println("\nchance accuracy is 1/35 ≈ 0.029. At this extreme skew single runs are")
+	fmt.Println("noisy (the paper's Fig. 11 curves cross repeatedly); the ordering that")
+	fmt.Println("holds on average emerges over seeds — see the fig11 bench and")
+	fmt.Println("EXPERIMENTS.md for the aggregate comparison.")
+}

@@ -1,0 +1,68 @@
+package groupfel
+
+import (
+	"repro/internal/grouping"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// Group formation (Sec. 5).
+type (
+	// Group is a formed client group with its label histogram.
+	Group = grouping.Group
+	// GroupingConfig carries MinGS / MaxCoV / leftover handling.
+	GroupingConfig = grouping.Config
+	// GroupingAlgorithm forms groups at one edge server.
+	GroupingAlgorithm = grouping.Algorithm
+	// CoVGrouping is the paper's Algorithm 2.
+	CoVGrouping = grouping.CoVGrouping
+	// RandomGrouping is the RG baseline.
+	RandomGrouping = grouping.RandomGrouping
+	// CDGrouping is OUEA's cluster-then-distribute policy.
+	CDGrouping = grouping.CDGrouping
+	// KLDGrouping is SHARE's KL-divergence policy.
+	KLDGrouping = grouping.KLDGrouping
+	// VarianceGrouping is the scale-sensitive ablation criterion.
+	VarianceGrouping = grouping.VarianceGrouping
+)
+
+// FormGroups runs an algorithm over every edge's client set (Alg. 1
+// lines 2–3).
+func FormGroups(alg GroupingAlgorithm, edges [][]*Client, classes int, seed uint64) []*Group {
+	return grouping.FormAll(alg, edges, classes, stats.NewRNG(seed))
+}
+
+// Group sampling (Sec. 6).
+type (
+	// SamplingMethod selects the probability scheme.
+	SamplingMethod = sampling.Method
+	// WeightScheme selects the aggregation weighting.
+	WeightScheme = sampling.WeightScheme
+)
+
+// Sampling methods (Eq. 34 with w(x) = x, x², e^{x²}).
+const (
+	RandomSampling = sampling.Random
+	RCoV           = sampling.RCoV
+	SRCoV          = sampling.SRCoV
+	ESRCoV         = sampling.ESRCoV
+)
+
+// Aggregation weight schemes.
+const (
+	// BiasedWeights is Alg. 1 line 15 (n_g/n_t over the selected set).
+	BiasedWeights = sampling.Biased
+	// UnbiasedWeights applies the 1/(p_g·S) correction of Eq. 4.
+	UnbiasedWeights = sampling.Unbiased
+	// StabilizedWeights normalizes the unbiased weights (Eq. 35).
+	StabilizedWeights = sampling.Stabilized
+)
+
+// SamplingProbabilities computes p over groups for a method (Eq. 34).
+func SamplingProbabilities(groups []*Group, m SamplingMethod) []float64 {
+	return sampling.Probabilities(groups, m)
+}
+
+// GroupCoV returns the coefficient of variation of a label histogram
+// (Eq. 27), the paper's grouping criterion.
+func GroupCoV(counts []float64) float64 { return stats.CoVOfCounts(counts) }

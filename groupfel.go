@@ -1,0 +1,165 @@
+// Package groupfel is a Go implementation of Group-based Hierarchical
+// Federated Learning (Group-FEL) as described in "Group-based Hierarchical
+// Federated Learning: Convergence, Group Formation, and Sampling"
+// (Liu, Wei, Liu, Gao, Wang — ICPP 2023).
+//
+// The library covers the full system of the paper:
+//
+//   - the cloud–edge–client training loop of Algorithm 1 (Train),
+//   - CoV-based group formation (CoVGrouping, Algorithm 2) and the
+//     comparator policies (RandomGrouping, CDGrouping, KLDGrouping),
+//   - CoV-prioritized group sampling (RCoV / SRCoV / ESRCoV) with biased,
+//     unbiased (Eq. 4), and stabilized (Eq. 35) aggregation,
+//   - the quadratic group-operation cost model of Eq. 5 (CostProfile,
+//     Accountant) calibrated to the paper's Fig. 8,
+//   - executable group-operation substrates: Bonawitz-style secure
+//     aggregation (SecAggSession) and FLAME-style backdoor detection
+//     (DetectBackdoors),
+//   - the baseline methods of the evaluation (FedAvg, FedProx, SCAFFOLD,
+//     OUEA, SHARE, FedCLAR) and the Theorem 1 bound calculator.
+//
+// Quick start:
+//
+//	sys := groupfel.NewSystem(groupfel.SystemConfig{ ... })
+//	cfg := groupfel.Config{
+//		GlobalRounds: 50, GroupRounds: 5, LocalEpochs: 2,
+//		LR: 0.05, SampleGroups: 12,
+//		Grouping: groupfel.CoVGrouping{Config: groupfel.GroupingConfig{MinGS: 5, MaxCoV: 0.5, MergeLeftover: true}},
+//		Sampling: groupfel.ESRCoV,
+//		CostProfile: groupfel.CIFARProfile(),
+//	}
+//	res := groupfel.Train(sys, cfg)
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper.
+package groupfel
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Core training types (Algorithm 1).
+type (
+	// System is a federated population: datasets, clients, edges, model.
+	System = core.System
+	// SystemConfig describes how to build a System.
+	SystemConfig = core.SystemConfig
+	// Config parameterizes one training run.
+	Config = core.Config
+	// Result is a training outcome with per-round records.
+	Result = core.Result
+	// RoundRecord is the state after one global round.
+	RoundRecord = core.RoundRecord
+	// LocalUpdater is the pluggable client update rule.
+	LocalUpdater = core.LocalUpdater
+	// LocalContext is the per-client training context.
+	LocalContext = core.LocalContext
+	// SGDUpdater is plain local SGD (Group-FEL, FedAvg).
+	SGDUpdater = core.SGDUpdater
+	// ProxUpdater is the FedProx proximal update.
+	ProxUpdater = core.ProxUpdater
+	// ScaffoldUpdater is the SCAFFOLD control-variate update.
+	ScaffoldUpdater = core.ScaffoldUpdater
+)
+
+// Dataset and model types.
+type (
+	// Dataset is an in-memory labelled dataset.
+	Dataset = data.Dataset
+	// Client is one federated participant.
+	Client = data.Client
+	// GeneratorConfig parameterizes a synthetic task.
+	GeneratorConfig = data.GeneratorConfig
+	// Generator produces synthetic datasets.
+	Generator = data.Generator
+	// PartitionConfig controls the Dirichlet non-IID partition.
+	PartitionConfig = data.PartitionConfig
+	// Model is a feed-forward network.
+	Model = nn.Sequential
+	// Tensor is a dense numeric array.
+	Tensor = tensor.Tensor
+)
+
+// NewSystem builds a federated population from a system config.
+func NewSystem(cfg SystemConfig) *System { return core.NewSystem(cfg) }
+
+// Train runs Algorithm 1 and returns the result.
+func Train(sys *System, cfg Config) *Result { return core.Train(sys, cfg) }
+
+// Evaluate computes accuracy and mean loss of a model on a dataset.
+func Evaluate(m *Model, ds *Dataset, batch int) (acc, loss float64) {
+	return core.Evaluate(m, ds, batch)
+}
+
+// NewGenerator creates a synthetic data generator.
+func NewGenerator(cfg GeneratorConfig) *Generator { return data.NewGenerator(cfg) }
+
+// SynthCIFAR returns the CIFAR-10 stand-in generator config.
+func SynthCIFAR(seed uint64) GeneratorConfig { return data.SynthCIFARConfig(seed) }
+
+// SynthSpeech returns the SpeechCommands stand-in generator config.
+func SynthSpeech(seed uint64) GeneratorConfig { return data.SynthSpeechConfig(seed) }
+
+// FlatTask returns a fast flat-feature task config.
+func FlatTask(classes, dim int, seed uint64) GeneratorConfig {
+	return data.FlatConfig(classes, dim, seed)
+}
+
+// DirichletPartition splits a dataset across clients with Dirichlet label
+// skew.
+func DirichletPartition(ds *Dataset, cfg PartitionConfig) []*Client {
+	return data.DirichletPartition(ds, cfg)
+}
+
+// DefaultPartition mirrors the paper's per-client sample distribution.
+func DefaultPartition(numClients int, alpha float64, seed uint64) PartitionConfig {
+	return data.DefaultPartitionConfig(numClients, alpha, seed)
+}
+
+// Model constructors.
+var (
+	// NewMLP builds a multi-layer perceptron.
+	NewMLP = nn.NewMLP
+	// NewCNN5 builds the paper's lightweight 5-layer CNN.
+	NewCNN5 = nn.NewCNN5
+	// NewResNetLite builds the paper's 3-block ResNet.
+	NewResNetLite = nn.NewResNetLite
+	// NewLogistic builds a linear softmax classifier.
+	NewLogistic = nn.NewLogistic
+)
+
+// Baseline methods of the paper's evaluation (Sec. 7.3).
+type (
+	// BaselineName identifies a comparison method.
+	BaselineName = baselines.Name
+	// BaselineOptions tunes method-specific knobs.
+	BaselineOptions = baselines.Options
+)
+
+// The evaluated methods.
+const (
+	FedAvg   = baselines.FedAvg
+	FedProx  = baselines.FedProx
+	Scaffold = baselines.Scaffold
+	GroupFEL = baselines.GroupFEL
+	OUEA     = baselines.OUEA
+	SHARE    = baselines.SHARE
+	FedCLAR  = baselines.FedCLAR
+)
+
+// AllBaselines lists the methods in the paper's legend order.
+func AllBaselines() []BaselineName { return baselines.All() }
+
+// RunBaseline trains the named method (FedCLAR uses its two-phase loop).
+func RunBaseline(m BaselineName, sys *System, base Config, opts BaselineOptions) *Result {
+	return baselines.Run(m, sys, base, opts)
+}
+
+// DefaultBaselineOptions mirrors the paper's setup at the given scale.
+func DefaultBaselineOptions(numClients, targetGS int) BaselineOptions {
+	return baselines.DefaultOptions(numClients, targetGS)
+}

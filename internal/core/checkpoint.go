@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Checkpoint is a resumable snapshot of a training run: the global
+// parameters after RoundsDone global rounds plus the records so far.
+// Resume by passing Params as Config.InitParams and subtracting RoundsDone
+// from Config.GlobalRounds.
+type Checkpoint struct {
+	RoundsDone int
+	Params     []float64
+	Records    []RoundRecord
+	TotalCost  float64
+}
+
+// FromResult snapshots a finished (or budget-stopped) run.
+func FromResult(res *Result) Checkpoint {
+	return Checkpoint{
+		RoundsDone: res.RoundsRun,
+		Params:     append([]float64(nil), res.Params...),
+		Records:    append([]RoundRecord(nil), res.Records...),
+		TotalCost:  res.TotalCost,
+	}
+}
+
+// Save writes the checkpoint to path (gob-encoded).
+func (c Checkpoint) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	defer f.Close()
+	var c Checkpoint
+	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+		return Checkpoint{}, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	return c, nil
+}
+
+// Resume adjusts cfg to continue from the checkpoint: parameters are
+// restored and the remaining round budget is reduced. It returns the
+// adjusted config (the original is not modified).
+func (c Checkpoint) Resume(cfg Config) Config {
+	out := cfg
+	out.InitParams = append([]float64(nil), c.Params...)
+	out.GlobalRounds = cfg.GlobalRounds - c.RoundsDone
+	if out.GlobalRounds < 0 {
+		out.GlobalRounds = 0
+	}
+	return out
+}

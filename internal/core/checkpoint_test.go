@@ -1,0 +1,244 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	sys := testSystem(10, 0.5, 31)
+	cfg := testConfig()
+	cfg.GlobalRounds = 4
+	res := Train(sys, cfg)
+
+	ck := FromResult(res)
+	path := filepath.Join(t.TempDir(), "ck.gob")
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RoundsDone != 4 || got.TotalCost != res.TotalCost {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	for i := range res.Params {
+		if got.Params[i] != res.Params[i] {
+			t.Fatal("params corrupted")
+		}
+	}
+	if len(got.Records) != len(res.Records) {
+		t.Fatal("records lost")
+	}
+}
+
+func TestCheckpointResumeContinuesTraining(t *testing.T) {
+	sys := testSystem(10, 0.5, 32)
+	cfg := testConfig()
+	cfg.GlobalRounds = 8
+
+	// Run 4 rounds, checkpoint, resume for the remaining 4.
+	half := cfg
+	half.GlobalRounds = 4
+	first := Train(sys, half)
+	ck := FromResult(first)
+	resumed := ck.Resume(cfg)
+	if resumed.GlobalRounds != 4 {
+		t.Fatalf("resume rounds = %d, want 4", resumed.GlobalRounds)
+	}
+	second := Train(sys, resumed)
+	if second.RoundsRun != 4 {
+		t.Fatalf("resumed run executed %d rounds", second.RoundsRun)
+	}
+	// The resumed run continues improving from the checkpoint (not from
+	// scratch): its first evaluated accuracy should be at least near the
+	// checkpoint's final accuracy.
+	if second.Records[0].Accuracy < first.FinalAccuracy-0.1 {
+		t.Fatalf("resume lost progress: %.3f vs checkpoint %.3f",
+			second.Records[0].Accuracy, first.FinalAccuracy)
+	}
+}
+
+func TestCheckpointResumeClampsRounds(t *testing.T) {
+	ck := Checkpoint{RoundsDone: 10, Params: []float64{1}}
+	cfg := Config{GlobalRounds: 6}
+	if got := ck.Resume(cfg).GlobalRounds; got != 0 {
+		t.Fatalf("over-complete checkpoint should clamp to 0 rounds, got %d", got)
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTrainWithDropout(t *testing.T) {
+	sys := testSystem(12, 0.5, 33)
+	cfg := testConfig()
+	cfg.GlobalRounds = 8
+	cfg.DropoutProb = 0.3
+	res := Train(sys, cfg)
+	if res.Dropouts == 0 {
+		t.Fatal("expected some dropouts at p=0.3")
+	}
+	// Training still converges above chance despite losses.
+	if res.FinalAccuracy <= 0.3 {
+		t.Fatalf("dropout run accuracy %.3f", res.FinalAccuracy)
+	}
+	// No dropouts when disabled.
+	cfg.DropoutProb = 0
+	if got := Train(sys, cfg); got.Dropouts != 0 {
+		t.Fatalf("dropouts recorded with p=0: %d", got.Dropouts)
+	}
+}
+
+func TestTrainWithTotalDropoutStillFinishes(t *testing.T) {
+	// p=0.99: almost every update lost; the run must not NaN or hang, and
+	// the model should stay near its initialization when nothing arrives.
+	sys := testSystem(8, 0.5, 34)
+	cfg := testConfig()
+	cfg.GlobalRounds = 3
+	cfg.DropoutProb = 0.99
+	res := Train(sys, cfg)
+	if res.RoundsRun != 3 {
+		t.Fatalf("run stopped at %d rounds", res.RoundsRun)
+	}
+	for _, p := range res.Params {
+		if p != p { // NaN check
+			t.Fatal("NaN parameters after total dropout")
+		}
+	}
+}
+
+func TestDropoutDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.GlobalRounds = 4
+	cfg.DropoutProb = 0.25
+	a := Train(testSystem(10, 0.5, 35), cfg)
+	b := Train(testSystem(10, 0.5, 35), cfg)
+	if a.Dropouts != b.Dropouts || a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatal("dropout simulation not deterministic")
+	}
+}
+
+func TestParticipationTracking(t *testing.T) {
+	sys := testSystem(10, 0.5, 40)
+	cfg := testConfig()
+	cfg.GlobalRounds = 6
+	res := Train(sys, cfg)
+	if len(res.Participation) == 0 {
+		t.Fatal("no participation recorded")
+	}
+	total := 0
+	for id, n := range res.Participation {
+		if n <= 0 {
+			t.Fatalf("client %d recorded %d participations", id, n)
+		}
+		total += n
+	}
+	// Each round trains SampleGroups groups; total client-rounds is at
+	// least rounds × min group size.
+	if total < cfg.GlobalRounds*cfg.SampleGroups*3 {
+		t.Fatalf("implausibly low participation total %d", total)
+	}
+	if up := res.UniqueParticipants(); up == 0 || up > len(sys.Clients) {
+		t.Fatalf("unique participants %d", up)
+	}
+	fi := res.FairnessIndex(sys)
+	if fi <= 0 || fi > 1 {
+		t.Fatalf("fairness index %v", fi)
+	}
+}
+
+func TestFairnessRandomBeatsESRCoV(t *testing.T) {
+	// Uniform sampling spreads participation; ESRCoV concentrates it — the
+	// fairness trade-off the paper's future work calls out.
+	run := func(m sampling.Method) float64 {
+		sys := testSystem(16, 0.3, 41)
+		cfg := testConfig()
+		cfg.GlobalRounds = 12
+		cfg.Sampling = m
+		return Train(sys, cfg).FairnessIndex(sys)
+	}
+	random := run(sampling.Random)
+	esr := run(sampling.ESRCoV)
+	if random < esr {
+		t.Fatalf("Random fairness %v should be >= ESRCoV %v", random, esr)
+	}
+}
+
+func TestWallClockAccounting(t *testing.T) {
+	sys := testSystem(10, 0.5, 42)
+	cfg := testConfig()
+	cfg.GlobalRounds = 4
+	topo := simnet.Default()
+	cfg.Topology = &topo
+	res := Train(sys, cfg)
+	if res.WallClock <= 0 {
+		t.Fatal("no wall clock recorded with topology set")
+	}
+	// More rounds take longer.
+	cfg.GlobalRounds = 8
+	res2 := Train(testSystem(10, 0.5, 42), cfg)
+	if res2.WallClock <= res.WallClock {
+		t.Fatalf("8 rounds (%v) should take longer than 4 (%v)", res2.WallClock, res.WallClock)
+	}
+	// Without topology: zero.
+	cfg.Topology = nil
+	if got := Train(testSystem(10, 0.5, 42), cfg); got.WallClock != 0 {
+		t.Fatalf("wall clock %v without topology", got.WallClock)
+	}
+}
+
+func TestCompressionReducesUplinkBytes(t *testing.T) {
+	run := func(factory func() compress.Compressor) *Result {
+		sys := testSystem(10, 0.5, 50)
+		cfg := testConfig()
+		cfg.GlobalRounds = 5
+		cfg.NewCompressor = factory
+		return Train(sys, cfg)
+	}
+	dense := run(nil)
+	if dense.UplinkBytes == 0 {
+		t.Fatal("dense run recorded no uplink bytes")
+	}
+	topk := run(func() compress.Compressor { return compress.NewTopK(20) })
+	if topk.UplinkBytes >= dense.UplinkBytes/5 {
+		t.Fatalf("top-20 uplink %d not much smaller than dense %d", topk.UplinkBytes, dense.UplinkBytes)
+	}
+	// Error feedback keeps learning alive despite heavy sparsification.
+	if topk.FinalAccuracy <= 0.3 {
+		t.Fatalf("compressed training accuracy %.3f", topk.FinalAccuracy)
+	}
+	// 8-bit quantization: ~8x smaller, near-dense accuracy.
+	q8 := run(func() compress.Compressor { return compress.NewUniform(8, 1) })
+	if q8.UplinkBytes >= dense.UplinkBytes/4 {
+		t.Fatalf("q8 uplink %d not smaller than dense %d", q8.UplinkBytes, dense.UplinkBytes)
+	}
+	if q8.FinalAccuracy < dense.FinalAccuracy-0.15 {
+		t.Fatalf("q8 accuracy %.3f far below dense %.3f", q8.FinalAccuracy, dense.FinalAccuracy)
+	}
+}
+
+func TestOnRoundCallback(t *testing.T) {
+	sys := testSystem(8, 0.5, 60)
+	cfg := testConfig()
+	cfg.GlobalRounds = 4
+	var rounds []int
+	cfg.OnRound = func(r RoundRecord) { rounds = append(rounds, r.Round) }
+	Train(sys, cfg)
+	if len(rounds) != 4 {
+		t.Fatalf("callback fired %d times", len(rounds))
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("rounds out of order: %v", rounds)
+		}
+	}
+}

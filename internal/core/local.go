@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// LocalContext carries the per-client training context into a LocalUpdater.
+type LocalContext struct {
+	// ClientID identifies the client (stable across rounds).
+	ClientID int
+	// Anchor is the parameter vector the client started from (the group
+	// model x^g_{t,k}); FedProx regularizes toward it.
+	Anchor []float64
+	// Epochs is E, BatchSize the mini-batch size (<=0 means full batch),
+	// LR the learning rate η.
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Rng drives batch shuffling, derived deterministically per
+	// (seed, round, group, client).
+	Rng *stats.RNG
+}
+
+// LocalUpdater performs a client's local training (Alg. 1 lines 12–13),
+// mutating model in place. Implementations must be safe for concurrent use
+// by multiple clients.
+type LocalUpdater interface {
+	Name() string
+	LocalTrain(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext)
+}
+
+// sgdEpochs runs the shared mini-batch SGD loop, invoking adjust (if non-nil)
+// after each backward pass so variants can modify gradients before the
+// step. Returns the number of optimizer steps taken.
+func sgdEpochs(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext, adjust func(model *nn.Sequential)) int {
+	n := x.Shape[0]
+	bs := ctx.BatchSize
+	if bs <= 0 || bs > n {
+		bs = n
+	}
+	opt := nn.NewSGD(ctx.LR)
+	var lossFn nn.SoftmaxCrossEntropy
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	dim := x.Size() / n
+	bx := tensor.New(append([]int{bs}, x.Shape[1:]...)...)
+	by := make([]int, bs)
+	steps := 0
+	for e := 0; e < ctx.Epochs; e++ {
+		ctx.Rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < n; lo += bs {
+			hi := lo + bs
+			if hi > n {
+				hi = n
+			}
+			cur := hi - lo
+			var xb *tensor.Tensor
+			var yb []int
+			if cur == bs {
+				xb, yb = bx, by
+			} else {
+				xb = tensor.New(append([]int{cur}, x.Shape[1:]...)...)
+				yb = make([]int, cur)
+			}
+			for bi := 0; bi < cur; bi++ {
+				src := order[lo+bi]
+				copy(xb.Data[bi*dim:(bi+1)*dim], x.Data[src*dim:(src+1)*dim])
+				yb[bi] = y[src]
+			}
+			logits := model.Forward(xb, true)
+			_, probs := lossFn.Forward(logits, yb)
+			model.Backward(lossFn.Backward(probs, yb))
+			if adjust != nil {
+				adjust(model)
+			}
+			opt.Step(model)
+			steps++
+		}
+	}
+	return steps
+}
+
+// SGDUpdater is the plain local SGD of Alg. 1 — used by Group-FEL, FedAvg,
+// OUEA, and SHARE.
+type SGDUpdater struct{}
+
+// Name returns "SGD".
+func (SGDUpdater) Name() string { return "SGD" }
+
+// LocalTrain runs E epochs of mini-batch SGD.
+func (SGDUpdater) LocalTrain(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext) {
+	sgdEpochs(model, x, y, ctx, nil)
+}
+
+// ProxUpdater implements FedProx: local loss is augmented with
+// (Mu/2)·‖w − anchor‖², i.e. each gradient gains Mu·(w − anchor).
+type ProxUpdater struct {
+	Mu float64
+}
+
+// Name returns "FedProx".
+func (ProxUpdater) Name() string { return "FedProx" }
+
+// LocalTrain runs proximal SGD epochs.
+func (p ProxUpdater) LocalTrain(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext) {
+	sgdEpochs(model, x, y, ctx, func(m *nn.Sequential) {
+		params := m.Params()
+		grads := m.Grads()
+		off := 0
+		for i, par := range params {
+			g := grads[i]
+			for j := range par.Data {
+				g.Data[j] += p.Mu * (par.Data[j] - ctx.Anchor[off+j])
+			}
+			off += par.Size()
+		}
+	})
+}
+
+// ScaffoldUpdater implements SCAFFOLD's variance-reduced local update,
+// ported to the hierarchical setting: each local step descends
+// g − c_i + c, where c_i is the client control variate and c the server
+// variate. After local training the client variate is refreshed with
+// option II of the SCAFFOLD paper:
+//
+//	c_i⁺ = c_i − c + (w_start − w_end)/(steps·η)
+//
+// and the server variate absorbs the average drift of participating
+// clients at the end of every global round.
+type ScaffoldUpdater struct {
+	// NumClients scales the server variate update (the 1/N in SCAFFOLD).
+	NumClients int
+
+	mu      sync.Mutex
+	ci      map[int][]float64
+	c       []float64
+	deltaC  []float64
+	touched int
+}
+
+// Name returns "SCAFFOLD".
+func (*ScaffoldUpdater) Name() string { return "SCAFFOLD" }
+
+// variates returns (copies of) the client and server control variates,
+// allocating zeros on first use.
+func (s *ScaffoldUpdater) variates(clientID, dim int) (ci, c []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ci == nil {
+		s.ci = make(map[int][]float64)
+	}
+	if s.c == nil {
+		s.c = make([]float64, dim)
+		s.deltaC = make([]float64, dim)
+	}
+	if _, ok := s.ci[clientID]; !ok {
+		s.ci[clientID] = make([]float64, dim)
+	}
+	ci = append([]float64(nil), s.ci[clientID]...)
+	c = append([]float64(nil), s.c...)
+	return ci, c
+}
+
+// LocalTrain runs control-variate-corrected SGD and refreshes c_i.
+func (s *ScaffoldUpdater) LocalTrain(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext) {
+	dim := model.NumParams()
+	ci, c := s.variates(ctx.ClientID, dim)
+	start := model.ParamVector()
+	steps := sgdEpochs(model, x, y, ctx, func(m *nn.Sequential) {
+		grads := m.Grads()
+		off := 0
+		for _, g := range grads {
+			for j := range g.Data {
+				g.Data[j] += c[off+j] - ci[off+j]
+			}
+			off += g.Size()
+		}
+	})
+	if steps == 0 {
+		return
+	}
+	end := model.ParamVector()
+	newCi := make([]float64, dim)
+	inv := 1 / (float64(steps) * ctx.LR)
+	for j := 0; j < dim; j++ {
+		newCi[j] = ci[j] - c[j] + (start[j]-end[j])*inv
+	}
+	s.mu.Lock()
+	old := s.ci[ctx.ClientID]
+	for j := 0; j < dim; j++ {
+		s.deltaC[j] += newCi[j] - old[j]
+	}
+	s.ci[ctx.ClientID] = newCi
+	s.touched++
+	s.mu.Unlock()
+}
+
+// FinishGlobalRound folds the accumulated client drift into the server
+// variate: c += (participants/N)·mean(Δc_i). Called by Train once per
+// global round.
+func (s *ScaffoldUpdater) FinishGlobalRound() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.touched == 0 || s.c == nil {
+		return
+	}
+	n := s.NumClients
+	if n <= 0 {
+		n = s.touched
+	}
+	for j := range s.c {
+		s.c[j] += s.deltaC[j] / float64(n)
+		s.deltaC[j] = 0
+	}
+	s.touched = 0
+}
+
+// globalRoundFinisher is implemented by updaters that need a hook at the
+// end of every global round (SCAFFOLD's server variate refresh).
+type globalRoundFinisher interface {
+	FinishGlobalRound()
+}

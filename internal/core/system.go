@@ -1,0 +1,193 @@
+// Package fel implements the Group-FEL training loop of Algorithm 1: edge
+// servers form client groups, the cloud samples groups per global round,
+// selected groups run K group rounds of E local epochs, and updates are
+// aggregated group-then-globally. Local updates are pluggable (plain SGD,
+// FedProx, SCAFFOLD), sampling and aggregation weighting are pluggable
+// (Sec. 6), and every run is metered by the Eq. 5 cost accountant.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// System bundles the federated population: the shared train/test data, the
+// partitioned clients, their edge assignment, and the model architecture.
+type System struct {
+	Train   *data.Dataset
+	Test    *data.Dataset
+	Clients []*data.Client
+	Edges   [][]*data.Client
+	Classes int
+	// NewModel constructs the architecture with the given init seed. All
+	// federated copies start from NewModel(ModelSeed).
+	NewModel  func(seed uint64) *nn.Sequential
+	ModelSeed uint64
+
+	// cached per-client batches (built lazily, guarded by mu).
+	mu      sync.Mutex
+	batches map[int]*clientBatch
+}
+
+type clientBatch struct {
+	x *tensor.Tensor
+	y []int
+}
+
+// SystemConfig describes how to build a System.
+type SystemConfig struct {
+	Generator data.GeneratorConfig
+	Partition data.PartitionConfig
+	NumEdges  int
+	TestSize  int
+	NewModel  func(seed uint64) *nn.Sequential
+	ModelSeed uint64
+}
+
+// NewSystem samples the dataset, partitions it across clients and edges,
+// and prepares the model factory.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.NumEdges <= 0 {
+		panic("fel: NumEdges must be positive")
+	}
+	if cfg.NewModel == nil {
+		panic("fel: NewModel is required")
+	}
+	gen := data.NewGenerator(cfg.Generator)
+	// Train pool sized for the partition with headroom.
+	trainSize := cfg.Partition.NumClients * cfg.Partition.MaxSamples
+	train := gen.Sample(trainSize, 0)
+	test := gen.Sample(cfg.TestSize, 1)
+	clients := data.DirichletPartition(train, cfg.Partition)
+	return &System{
+		Train:     train,
+		Test:      test,
+		Clients:   clients,
+		Edges:     data.SplitAcrossEdges(clients, cfg.NumEdges),
+		Classes:   cfg.Generator.Classes,
+		NewModel:  cfg.NewModel,
+		ModelSeed: cfg.ModelSeed,
+	}
+}
+
+// SubSystem returns a System restricted to the given clients, sharing the
+// train/test datasets and model factory. Used by cluster-based methods
+// (FedCLAR) that train separate models on client subsets.
+func (s *System) SubSystem(clients []*data.Client, numEdges int) *System {
+	return &System{
+		Train:     s.Train,
+		Test:      s.Test,
+		Clients:   clients,
+		Edges:     data.SplitAcrossEdges(clients, numEdges),
+		Classes:   s.Classes,
+		NewModel:  s.NewModel,
+		ModelSeed: s.ModelSeed,
+	}
+}
+
+// ClientBatch returns the cached full batch (features + labels) of one
+// client. Safe for concurrent use.
+func (s *System) ClientBatch(c *data.Client) (*tensor.Tensor, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batches == nil {
+		s.batches = make(map[int]*clientBatch)
+	}
+	if b, ok := s.batches[c.ID]; ok {
+		return b.x, b.y
+	}
+	x, y := s.Train.Batch(c.Indices)
+	s.batches[c.ID] = &clientBatch{x: x, y: y}
+	return x, y
+}
+
+// Evaluate computes accuracy and mean loss of model on ds, batching to
+// bound memory. batch <= 0 defaults to 256.
+func Evaluate(model *nn.Sequential, ds *data.Dataset, batch int) (acc, loss float64) {
+	if batch <= 0 {
+		batch = 256
+	}
+	n := ds.Len()
+	if n == 0 {
+		return 0, 0
+	}
+	correct := 0
+	totalLoss := 0.0
+	var lossFn nn.SoftmaxCrossEntropy
+	idx := make([]int, 0, batch)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		x, y := ds.Batch(idx)
+		logits := model.Forward(x, false)
+		l, _ := lossFn.Forward(logits, y)
+		totalLoss += l * float64(len(idx))
+		for i, p := range nn.Predict(logits) {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n), totalLoss / float64(n)
+}
+
+// parallelEach runs fn(0..n-1) across at most workers goroutines. workers
+// <= 0 defaults to GOMAXPROCS. Panics inside fn are re-raised on the caller
+// goroutine so test failures surface normally.
+func parallelEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = r
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstPanic != nil {
+		panic(fmt.Sprintf("fel: worker panic: %v", firstPanic))
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/cost"
+	"repro/internal/grouping"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one Group-FEL training run (Alg. 1 plus the cost
+// model and the paper's sampling/weighting options).
+type Config struct {
+	// GlobalRounds (T), GroupRounds (K), LocalEpochs (E).
+	GlobalRounds, GroupRounds, LocalEpochs int
+	// BatchSize for local SGD; <= 0 means full-batch.
+	BatchSize int
+	// LR is the learning rate η.
+	LR float64
+	// SampleGroups is S = |S_t|, the groups drawn per global round.
+	SampleGroups int
+	// Grouping forms the groups at every edge (Alg. 1 lines 2–3).
+	Grouping grouping.Algorithm
+	// Sampling picks the probability scheme (Sec. 6.1).
+	Sampling sampling.Method
+	// Weights picks the aggregation weighting (Sec. 6.2).
+	Weights sampling.WeightScheme
+	// Local is the client update rule; nil means plain SGD.
+	Local LocalUpdater
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// CostProfile and CostOps configure the Eq. 5 accountant.
+	CostProfile cost.Profile
+	CostOps     cost.OpSet
+	// CostBudget stops training once the accumulated cost exceeds it
+	// (0 = no budget, run all GlobalRounds).
+	CostBudget float64
+	// EvalEvery evaluates on the test set every n rounds (0 or 1 = every
+	// round). The final round is always evaluated.
+	EvalEvery int
+	// RegroupEvery reruns group formation every n global rounds (0 =
+	// never), the paper's Sec. 6.1 suggestion for reusing high-CoV data.
+	RegroupEvery int
+	// MaxParallel bounds worker goroutines (0 = GOMAXPROCS).
+	MaxParallel int
+	// InitParams, when non-nil, seeds the global model with these
+	// parameters instead of a fresh initialization (used by two-phase
+	// methods like FedCLAR).
+	InitParams []float64
+	// DropoutProb simulates unreliable edge clients: after local training,
+	// each client's update is lost with this probability and the group
+	// aggregation renormalizes over the survivors (the behaviour the
+	// secure-aggregation substrate's dropout recovery enables). Dropped
+	// clients still pay their training cost — work done is work paid for.
+	DropoutProb float64
+	// Topology, when non-nil, adds simulated wall-clock accounting: each
+	// global round's time is the slowest selected group's K group rounds
+	// (compute from the cost profile plus link transfers) between the
+	// cloud hops. Purely observational — it does not change training.
+	Topology *simnet.Topology
+	// ModelBytes sizes the model payload for wall-clock accounting; 0
+	// derives it from the parameter count (8 bytes each).
+	ModelBytes int
+	// NewCompressor, when non-nil, compresses every client's update delta
+	// before group aggregation (one stateful compressor per client, so
+	// error-feedback schemes work). The decoded delta is applied to the
+	// group model; Result.UplinkBytes records the wire size saved.
+	NewCompressor func() compress.Compressor
+	// OnRound, when non-nil, is invoked with every round's record as it
+	// completes — live progress for CLIs and dashboards.
+	OnRound OnRoundFunc
+}
+
+// RoundRecord captures the state after one global round.
+type RoundRecord struct {
+	Round int
+	// Accuracy and Loss on the held-out test set (NaN when skipped).
+	Accuracy, Loss float64
+	// Cost is the cumulative Eq. 5 cost after this round.
+	Cost float64
+	// AvgSelectedCoV is the mean label CoV of the sampled groups.
+	AvgSelectedCoV float64
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	Records []RoundRecord
+	// Groups and Probs are the (final) formation and sampling vector.
+	Groups []*grouping.Group
+	Probs  []float64
+	// FinalAccuracy and FinalLoss are measured after the last round.
+	FinalAccuracy, FinalLoss float64
+	// TotalCost is the Eq. 5 total.
+	TotalCost float64
+	// RoundsRun counts executed global rounds (may be fewer than T under a
+	// cost budget).
+	RoundsRun int
+	// Dropouts counts client updates lost to the simulated unreliability.
+	Dropouts int
+	// Participation maps client ID to the number of global rounds the
+	// client trained in (fairness accounting; see FairnessIndex).
+	Participation map[int]int
+	// WallClock is the simulated wall-clock time of the whole run under
+	// the network topology model (0 when no topology configured).
+	WallClock float64
+	// UplinkBytes totals the client→edge update payload; with a compressor
+	// configured it reflects the compressed wire size.
+	UplinkBytes int64
+	// Params is the final global parameter vector.
+	Params []float64
+}
+
+// Train runs Algorithm 1 on the system.
+func Train(sys *System, cfg Config) *Result {
+	validate(sys, cfg)
+	rng := stats.NewRNG(cfg.Seed)
+	local := cfg.Local
+	if local == nil {
+		local = SGDUpdater{}
+	}
+
+	// Lines 2–3: group formation at every edge; line 4: sampling vector.
+	groups := grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(1))
+	probs := sampling.Probabilities(groups, cfg.Sampling)
+
+	totalSamples := 0
+	for _, c := range sys.Clients {
+		totalSamples += c.NumSamples()
+	}
+
+	global := sys.NewModel(sys.ModelSeed)
+	globalParams := global.ParamVector()
+	if cfg.InitParams != nil {
+		if len(cfg.InitParams) != len(globalParams) {
+			panic(fmt.Sprintf("fel: InitParams length %d, model has %d", len(cfg.InitParams), len(globalParams)))
+		}
+		copy(globalParams, cfg.InitParams)
+	}
+	acct := cost.NewAccountant(cfg.CostProfile, cfg.CostOps)
+	res := &Result{Participation: make(map[int]int)}
+	modelBytes := cfg.ModelBytes
+	if modelBytes <= 0 {
+		modelBytes = 8 * len(globalParams)
+	}
+	var compressors *compressorPool
+	if cfg.NewCompressor != nil {
+		compressors = &compressorPool{factory: cfg.NewCompressor, byClient: make(map[int]compress.Compressor)}
+	}
+
+	sampleRng := rng.Split(2)
+	for t := 0; t < cfg.GlobalRounds; t++ {
+		if cfg.CostBudget > 0 && acct.Total() >= cfg.CostBudget {
+			break
+		}
+		// Optional regrouping (Sec. 6.1): the random first pick in Alg. 2
+		// makes each regroup explore a different formation.
+		if cfg.RegroupEvery > 0 && t > 0 && t%cfg.RegroupEvery == 0 {
+			groups = grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(uint64(100+t)))
+			probs = sampling.Probabilities(groups, cfg.Sampling)
+		}
+
+		// Line 6: sample S_t.
+		s := cfg.SampleGroups
+		if s > len(groups) {
+			s = len(groups)
+		}
+		selected := sampling.Sample(sampleRng, probs, s)
+
+		// Lines 7–14: each selected group trains in parallel.
+		groupParams := make([][]float64, len(selected))
+		groupDrops := make([]int, len(selected))
+		groupBytes := make([]int64, len(selected))
+		parallelEach(len(selected), cfg.MaxParallel, func(si int) {
+			g := groups[selected[si]]
+			groupParams[si], groupDrops[si], groupBytes[si] = runGroup(sys, cfg, local, compressors, g, globalParams, t)
+		})
+		for si := range selected {
+			res.Dropouts += groupDrops[si]
+			res.UplinkBytes += groupBytes[si]
+		}
+
+		// Line 15: global aggregation.
+		weights := sampling.Weights(groups, selected, probs, totalSamples, cfg.Weights)
+		next := make([]float64, len(globalParams))
+		for si := range selected {
+			w := weights[si]
+			gp := groupParams[si]
+			for j := range next {
+				next[j] += w * gp[j]
+			}
+		}
+		// The unbiased estimator targets the full-population average; the
+		// weights may not sum to 1 in-sample, which is the point (Eq. 4).
+		globalParams = next
+
+		if gf, ok := local.(globalRoundFinisher); ok {
+			gf.FinishGlobalRound()
+		}
+
+		// Cost, participation, and wall-clock accounting (Eq. 5).
+		sel := make([][]int, len(selected))
+		covSum := 0.0
+		edgeGroupTimes := map[int][]float64{}
+		for si, gi := range selected {
+			g := groups[gi]
+			counts := make([]int, g.Size())
+			computes := make([]float64, g.Size())
+			for i, c := range g.Clients {
+				counts[i] = c.NumSamples()
+				computes[i] = float64(cfg.LocalEpochs)*cfg.CostProfile.Training(c.NumSamples()) +
+					cfg.CostProfile.GroupOverhead(g.Size(), cfg.CostOps)
+				res.Participation[c.ID]++
+			}
+			sel[si] = counts
+			covSum += g.CoV()
+			if cfg.Topology != nil {
+				edgeGroupTimes[g.Edge] = append(edgeGroupTimes[g.Edge],
+					cfg.Topology.GroupRoundTime(modelBytes, computes))
+			}
+		}
+		acct.GlobalRound(sel, cfg.GroupRounds, cfg.LocalEpochs)
+		if cfg.Topology != nil {
+			times := make([][]float64, 0, len(edgeGroupTimes))
+			for _, ts := range edgeGroupTimes {
+				times = append(times, ts)
+			}
+			res.WallClock += cfg.Topology.GlobalRoundTime(modelBytes, cfg.GroupRounds, times)
+		}
+
+		rec := RoundRecord{
+			Round:          t,
+			Cost:           acct.Total(),
+			AvgSelectedCoV: covSum / float64(len(selected)),
+		}
+		evalNow := cfg.EvalEvery <= 1 || t%cfg.EvalEvery == 0 || t == cfg.GlobalRounds-1
+		if evalNow {
+			global.SetParamVector(globalParams)
+			rec.Accuracy, rec.Loss = Evaluate(global, sys.Test, 0)
+		} else {
+			rec.Accuracy, rec.Loss = -1, -1
+		}
+		res.Records = append(res.Records, rec)
+		res.RoundsRun = t + 1
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
+	}
+
+	global.SetParamVector(globalParams)
+	res.FinalAccuracy, res.FinalLoss = Evaluate(global, sys.Test, 0)
+	res.Groups = groups
+	res.Probs = probs
+	res.TotalCost = acct.Total()
+	res.Params = globalParams
+	return res
+}
+
+// compressorPool hands out one stateful compressor per client (error
+// feedback needs persistent residuals). Safe for concurrent groups.
+type compressorPool struct {
+	mu       sync.Mutex
+	factory  func() compress.Compressor
+	byClient map[int]compress.Compressor
+}
+
+func (p *compressorPool) forClient(id int) compress.Compressor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.byClient[id]
+	if !ok {
+		c = p.factory()
+		p.byClient[id] = c
+	}
+	return c
+}
+
+// runGroup executes lines 8–14 for one selected group: K group rounds, each
+// training every member client for E local epochs from the current group
+// model, then weight-averaging by n_i over the clients whose updates
+// arrived (n_i/n_g when nothing drops). Returns the final group parameters,
+// the dropout count, and the uplink bytes.
+func runGroup(sys *System, cfg Config, local LocalUpdater, compressors *compressorPool, g *grouping.Group, globalParams []float64, round int) ([]float64, int, int64) {
+	model := sys.NewModel(sys.ModelSeed)
+	groupParams := append([]float64(nil), globalParams...)
+	clientParams := make([]float64, len(groupParams))
+	drops := 0
+	var bytes int64
+	dropRng := stats.NewRNG(cfg.Seed ^ 0xd20b ^
+		(uint64(round+1) * 0xff51afd7ed558ccd) ^
+		(uint64(g.ID+1) * 0xc4ceb9fe1a85ec53))
+
+	for k := 0; k < cfg.GroupRounds; k++ {
+		for j := range clientParams {
+			clientParams[j] = 0
+		}
+		wsum := 0.0
+		for _, c := range g.Clients {
+			model.SetParamVector(groupParams)
+			x, y := sys.ClientBatch(c)
+			ctx := LocalContext{
+				ClientID:  c.ID,
+				Anchor:    groupParams,
+				Epochs:    cfg.LocalEpochs,
+				BatchSize: cfg.BatchSize,
+				LR:        cfg.LR,
+				Rng: stats.NewRNG(cfg.Seed ^
+					(uint64(round+1) * 0x9e3779b97f4a7c15) ^
+					(uint64(g.ID+1) * 0xc2b2ae3d27d4eb4f) ^
+					(uint64(c.ID+1) * 0x165667b19e3779f9)),
+			}
+			local.LocalTrain(model, x, y, ctx)
+			if cfg.DropoutProb > 0 && dropRng.Float64() < cfg.DropoutProb {
+				drops++
+				continue
+			}
+			params := model.ParamVector()
+			if compressors != nil {
+				// The client ships a compressed delta; the edge applies the
+				// decoded delta to its copy of the group model.
+				delta := make([]float64, len(params))
+				for j := range delta {
+					delta[j] = params[j] - groupParams[j]
+				}
+				enc := compressors.forClient(c.ID).Compress(delta)
+				bytes += int64(enc.Bytes())
+				dec := enc.Decode()
+				for j := range params {
+					params[j] = groupParams[j] + dec[j]
+				}
+			} else {
+				bytes += int64(8 * len(params))
+			}
+			w := float64(c.NumSamples())
+			wsum += w
+			for j, v := range params {
+				clientParams[j] += w * v
+			}
+		}
+		if wsum > 0 {
+			inv := 1 / wsum
+			for j := range clientParams {
+				groupParams[j] = clientParams[j] * inv
+			}
+		}
+		// wsum == 0: every client dropped this group round; the group model
+		// carries over unchanged.
+	}
+	return groupParams, drops, bytes
+}
+
+func validate(sys *System, cfg Config) {
+	switch {
+	case sys == nil:
+		panic("fel: nil system")
+	case cfg.GlobalRounds <= 0 || cfg.GroupRounds <= 0 || cfg.LocalEpochs <= 0:
+		panic("fel: T, K, E must be positive")
+	case cfg.LR <= 0:
+		panic("fel: LR must be positive")
+	case cfg.SampleGroups <= 0:
+		panic("fel: SampleGroups must be positive")
+	case cfg.Grouping == nil:
+		panic("fel: Grouping algorithm is required")
+	case cfg.CostProfile.Name == "":
+		panic(fmt.Sprintf("fel: CostProfile is required (got %+v)", cfg.CostProfile))
+	}
+}
+
+// FairnessIndex returns Jain's fairness index over all clients'
+// participation counts (clients that never trained count as zero). The
+// paper's future-work section flags participation fairness as the cost of
+// prioritized sampling; this makes it measurable.
+func (r *Result) FairnessIndex(sys *System) float64 {
+	counts := make([]float64, len(sys.Clients))
+	for i, c := range sys.Clients {
+		counts[i] = float64(r.Participation[c.ID])
+	}
+	return stats.JainIndex(counts)
+}
+
+// UniqueParticipants returns how many distinct clients ever trained.
+func (r *Result) UniqueParticipants() int {
+	n := 0
+	for _, c := range r.Participation {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OnRoundFunc receives each round's record as training progresses.
+type OnRoundFunc func(RoundRecord)
+
+// RunGroupRounds exposes the inner group-training step (lines 8–14 of
+// Alg. 1) for schedulers that orchestrate groups across multiple models
+// (e.g. internal/multimodel): it runs cfg.GroupRounds × cfg.LocalEpochs of
+// local training for every client of g starting from params and returns
+// the aggregated group parameters plus dropout and uplink accounting.
+func RunGroupRounds(sys *System, cfg Config, g *grouping.Group, params []float64, round int) (newParams []float64, dropouts int, uplinkBytes int64) {
+	local := cfg.Local
+	if local == nil {
+		local = SGDUpdater{}
+	}
+	var pool *compressorPool
+	if cfg.NewCompressor != nil {
+		pool = &compressorPool{factory: cfg.NewCompressor, byClient: make(map[int]compress.Compressor)}
+	}
+	return runGroup(sys, cfg, local, pool, g, params, round)
+}

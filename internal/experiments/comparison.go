@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/sampling"
+	"repro/internal/trace"
+)
+
+// Comparison holds the per-method results of one baseline sweep, shared by
+// Figs. 9 and 10 (one training run, two axes).
+type Comparison struct {
+	Task    Task
+	Results map[baselines.Name]*core.Result
+	Order   []baselines.Name
+}
+
+// RunComparison trains every baseline on the given task, mirroring the
+// setup of Sec. 7.3: all methods hierarchical, uniform group sampling for
+// the baselines, tuned to similar group sizes.
+func RunComparison(task Task, sc Scale, alpha float64, seed uint64) *Comparison {
+	opts := baselines.DefaultOptions(sc.Clients, sc.TargetGS)
+	opts.MinGS = sc.MinGS
+	// No MaxCoV constraint for Group-FEL in the comparisons: Table 1 shows
+	// that under strong skew the loosest MaxCoV wins (smallest groups,
+	// lowest overhead, sampling skips the skewed ones).
+	opts.MaxCoV = 0
+	// OUEA and SHARE aggregate one group per edge server (uncapped sizes);
+	// see baselines.Options.EdgeAggregatorSize.
+	opts.EdgeAggregatorSize = (sc.Clients + sc.Edges - 1) / sc.Edges
+	if task == SC {
+		// Fig. 11 setup: the larger minimum group size applies to *every*
+		// method ("We set MinGS = 15 for all"), no MaxCoV constraint.
+		opts.MinGS = sc.MinGS * 3
+		opts.TargetGS = opts.MinGS
+		opts.MaxCoV = 0
+	}
+	out := &Comparison{Task: task, Results: map[baselines.Name]*core.Result{}, Order: baselines.All()}
+	for _, m := range out.Order {
+		sys := sc.NewSystem(task, alpha, seed)
+		out.Results[m] = baselines.Run(m, sys, sc.BaseConfig(task, seed), opts)
+	}
+	return out
+}
+
+func (c *Comparison) figure(id, title string, axis xAxis) *trace.Figure {
+	xl := "global round"
+	if axis == byCost {
+		xl = "cost"
+	}
+	f := &trace.Figure{ID: id, Title: title, XLabel: xl, YLabel: "accuracy"}
+	for _, m := range c.Order {
+		s := f.AddSeries(string(m))
+		addAccuracyVs(s, c.Results[m], axis)
+	}
+	return f
+}
+
+// comparisonAlpha is the Dirichlet skew of the Figs. 9–10 comparison — a
+// skewed-but-not-extreme setting in the band Table 1 sweeps.
+const comparisonAlpha = 0.05
+
+// Fig9 regenerates Fig. 9: accuracy vs global round, all methods, CIFAR.
+func Fig9(sc Scale, seed uint64) *trace.Figure {
+	return RunComparison(CIFAR, sc, comparisonAlpha, seed).figure("fig9", "Accuracy vs round — CIFAR", byRound)
+}
+
+// Fig10 regenerates Fig. 10: accuracy vs cost, all methods, CIFAR.
+func Fig10(sc Scale, seed uint64) *trace.Figure {
+	return RunComparison(CIFAR, sc, comparisonAlpha, seed).figure("fig10", "Accuracy vs cost — CIFAR", byCost)
+}
+
+// Fig9And10 runs the comparison once and returns both views.
+func Fig9And10(sc Scale, seed uint64) (*trace.Figure, *trace.Figure) {
+	c := RunComparison(CIFAR, sc, comparisonAlpha, seed)
+	return c.figure("fig9", "Accuracy vs round — CIFAR", byRound),
+		c.figure("fig10", "Accuracy vs cost — CIFAR", byCost)
+}
+
+// Fig11 regenerates Fig. 11: accuracy vs cost on the SpeechCommands
+// stand-in at extreme skew (α = 0.01, larger MinGS, no MaxCoV).
+func Fig11(sc Scale, seed uint64) *trace.Figure {
+	return RunComparison(SC, sc, 0.01, seed).figure("fig11", "Accuracy vs cost — SC (alpha=0.01)", byCost)
+}
+
+// Fig12 regenerates Fig. 12: the grouping × sampling ablation — CoVG+RS,
+// RG+CoVS, CoVG+CoVS, KLDG+RS, KLDG+CoVS on CIFAR.
+func Fig12(sc Scale, seed uint64) *trace.Figure {
+	f := &trace.Figure{ID: "fig12", Title: "Grouping x sampling ablation", XLabel: "cost", YLabel: "accuracy"}
+	covg := func() grouping.Algorithm {
+		// Same uncapped-MaxCoV formation as the Figs. 9–10 comparison.
+		return grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MergeLeftover: true}}
+	}
+	rg := func() grouping.Algorithm {
+		return grouping.RandomGrouping{Config: grouping.Config{MinGS: sc.TargetGS}, TargetGS: sc.TargetGS}
+	}
+	kldg := func() grouping.Algorithm {
+		return grouping.KLDGrouping{Config: grouping.Config{MinGS: sc.TargetGS, MergeLeftover: true}, TargetGS: sc.TargetGS}
+	}
+	combos := []struct {
+		name string
+		alg  grouping.Algorithm
+		m    sampling.Method
+	}{
+		{"CoVG+RS", covg(), sampling.Random},
+		{"RG+CoVS", rg(), sampling.ESRCoV},
+		{"CoVG+CoVS", covg(), sampling.ESRCoV},
+		{"KLDG+RS", kldg(), sampling.Random},
+		{"KLDG+CoVS", kldg(), sampling.ESRCoV},
+	}
+	for _, c := range combos {
+		sys := sc.NewSystem(CIFAR, 0.05, seed)
+		cfg := sc.BaseConfig(CIFAR, seed)
+		cfg.Grouping = c.alg
+		cfg.Sampling = c.m
+		cfg.Weights = sampling.Biased
+		res := core.Train(sys, cfg)
+		s := f.AddSeries(c.name)
+		addAccuracyVs(s, res, byCost)
+	}
+	return f
+}
+
+// Table1 regenerates Table 1: Group-FEL's group size range/average, average
+// group CoV, and final accuracy across α ∈ {0.1, 0.5, 1.0} ×
+// MaxCoV ∈ {0.1, 0.5, 1.0} under a fixed cost budget.
+func Table1(sc Scale, seed uint64) *trace.Table {
+	t := &trace.Table{
+		ID:    "table1",
+		Title: "Group-FEL performance by alpha and MaxCoV",
+		Header: []string{
+			"alpha", "MaxCoV", "GS [min,max]", "GS avg", "avg CoV", "accuracy",
+		},
+	}
+	for _, alpha := range []float64{0.1, 0.5, 1.0} {
+		for _, maxCoV := range []float64{0.1, 0.5, 1.0} {
+			sys := sc.NewSystem(CIFAR, alpha, seed)
+			cfg := sc.BaseConfig(CIFAR, seed)
+			cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{
+				MinGS: sc.MinGS, MaxCoV: maxCoV, MergeLeftover: true}}
+			cfg.Sampling = sampling.ESRCoV
+			cfg.Weights = sampling.Biased
+			res := core.Train(sys, cfg)
+
+			minGS, maxGS, sumGS, sumCoV := 1<<30, 0, 0, 0.0
+			for _, g := range res.Groups {
+				if g.Size() < minGS {
+					minGS = g.Size()
+				}
+				if g.Size() > maxGS {
+					maxGS = g.Size()
+				}
+				sumGS += g.Size()
+				sumCoV += g.CoV()
+			}
+			n := float64(len(res.Groups))
+			t.AddRow(
+				fmt.Sprintf("%.1f", alpha),
+				fmt.Sprintf("%.1f", maxCoV),
+				fmt.Sprintf("[%d, %d]", minGS, maxGS),
+				fmt.Sprintf("%.2f", float64(sumGS)/n),
+				fmt.Sprintf("%.2f", sumCoV/n),
+				fmt.Sprintf("%.2f%%", res.FinalAccuracy*100),
+			)
+		}
+	}
+	return t
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/grouping"
+	"repro/internal/multimodel"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/theory"
+	"repro/internal/trace"
+)
+
+// TheoryFigure evaluates the Theorem 1 bound against the round count for
+// the group structures produced by RG and CoVG on the same population —
+// the executable form of the paper's claim that lower group heterogeneity
+// (ζ_g) tightens the convergence bound.
+func TheoryFigure(sc Scale, seed uint64) *trace.Figure {
+	f := &trace.Figure{ID: "theory", Title: "Theorem 1 bound by grouping", XLabel: "global rounds T", YLabel: "bound on avg grad norm^2"}
+	clients := syntheticClients(sc.Clients, 10, 0.2, seed)
+	base := theory.Params{
+		Eta: 0.01, K: sc.GroupRounds, E: sc.LocalEpochs,
+		L: 1, Sigma2: 1, Zeta2: 1, F0MinusFStar: 10, S: sc.SampleGroups,
+	}
+	algs := []struct {
+		name string
+		alg  grouping.Algorithm
+		m    sampling.Method
+	}{
+		{"RG+Random", grouping.RandomGrouping{Config: grouping.Config{MinGS: sc.TargetGS}, TargetGS: sc.TargetGS}, sampling.Random},
+		{"CoVG+Random", grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MaxCoV: sc.MaxCoV, MergeLeftover: true}}, sampling.Random},
+	}
+	for _, a := range algs {
+		groups := a.alg.Form(clients, 10, 0, 0, stats.NewRNG(seed))
+		p := sampling.Probabilities(groups, a.m)
+		params := theory.FromSystem(groups, p, base)
+		s := f.AddSeries(a.name)
+		for _, T := range []int{50, 100, 200, 400, 800} {
+			params.T = T
+			s.Add(float64(T), theory.Bound(params))
+		}
+	}
+	return f
+}
+
+// CostBreakdown tabulates how total spend splits between training and
+// group operations as the group size grows — the quantitative version of
+// the paper's Fig. 2 motivation that overheads dominate for large groups.
+func CostBreakdown(sc Scale, seed uint64) *trace.Table {
+	t := &trace.Table{
+		ID:     "costbreak",
+		Title:  "Cost breakdown by group size (one global round, CIFAR profile)",
+		Header: []string{"group size", "training", "group ops", "group-op share"},
+	}
+	profile := cost.CIFARProfile()
+	clients := syntheticClients(sc.Clients, 10, 0.3, seed)
+	for _, gs := range []int{5, 10, 20, 40} {
+		if gs > len(clients) {
+			break
+		}
+		acct := cost.NewAccountant(profile, cost.DefaultOps())
+		samples := make([]int, gs)
+		for i := 0; i < gs; i++ {
+			samples[i] = clients[i].NumSamples()
+		}
+		acct.GroupRound(gs, samples, sc.LocalEpochs)
+		share := acct.GroupOps() / acct.Total()
+		t.AddRow(
+			fmt.Sprintf("%d", gs),
+			fmt.Sprintf("%.1f", acct.Training()),
+			fmt.Sprintf("%.1f", acct.GroupOps()),
+			fmt.Sprintf("%.0f%%", share*100),
+		)
+	}
+	return t
+}
+
+// DropoutRobustness sweeps the client dropout probability and reports
+// Group-FEL's final accuracy — the robustness property the secure
+// aggregation substrate's dropout recovery buys.
+func DropoutRobustness(sc Scale, seed uint64) *trace.Figure {
+	f := &trace.Figure{ID: "dropout", Title: "Robustness to client dropout", XLabel: "dropout probability", YLabel: "final accuracy"}
+	s := f.AddSeries("Group-FEL")
+	d := f.AddSeries("dropped updates")
+	for _, p := range []float64{0, 0.1, 0.2, 0.4} {
+		sys := sc.NewSystem(CIFAR, 0.3, seed)
+		cfg := sc.BaseConfig(CIFAR, seed)
+		cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MaxCoV: sc.MaxCoV, MergeLeftover: true}}
+		cfg.Sampling = sampling.ESRCoV
+		cfg.DropoutProb = p
+		res := core.Train(sys, cfg)
+		s.Add(p, res.FinalAccuracy)
+		d.Add(p, float64(res.Dropouts))
+	}
+	return f
+}
+
+// FairnessTable measures the participation-fairness cost of prioritized
+// sampling (the paper's future-work concern): for each sampling method it
+// reports Jain's index over client participation counts, the fraction of
+// clients that ever trained, and the final accuracy. Periodic regrouping
+// (Sec. 6.1) is included as the paper's suggested mitigation.
+func FairnessTable(sc Scale, seed uint64) *trace.Table {
+	t := &trace.Table{
+		ID:     "fairness",
+		Title:  "Participation fairness by sampling method",
+		Header: []string{"method", "Jain index", "clients trained", "accuracy"},
+	}
+	type variant struct {
+		name    string
+		m       sampling.Method
+		regroup int
+	}
+	for _, v := range []variant{
+		{"Random", sampling.Random, 0},
+		{"RCoV", sampling.RCoV, 0},
+		{"ESRCoV", sampling.ESRCoV, 0},
+		{"ESRCoV+regroup", sampling.ESRCoV, 5},
+	} {
+		sys := sc.NewSystem(CIFAR, 0.2, seed)
+		cfg := sc.BaseConfig(CIFAR, seed)
+		cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MaxCoV: sc.MaxCoV, MergeLeftover: true}}
+		cfg.Sampling = v.m
+		cfg.RegroupEvery = v.regroup
+		res := core.Train(sys, cfg)
+		t.AddRow(
+			v.name,
+			fmt.Sprintf("%.3f", res.FairnessIndex(sys)),
+			fmt.Sprintf("%d/%d", res.UniqueParticipants(), len(sys.Clients)),
+			fmt.Sprintf("%.2f%%", res.FinalAccuracy*100),
+		)
+	}
+	return t
+}
+
+// CompressionTable evaluates the update-compression techniques the paper's
+// Sec. 2.3 cites as the communication-side cost lever: accuracy and total
+// uplink bytes for dense updates, top-k sparsification with error
+// feedback, and 8-bit stochastic quantization, all under Group-FEL.
+func CompressionTable(sc Scale, seed uint64) *trace.Table {
+	t := &trace.Table{
+		ID:     "compression",
+		Title:  "Update compression: accuracy vs uplink traffic",
+		Header: []string{"scheme", "uplink MB", "vs dense", "accuracy"},
+	}
+	type variant struct {
+		name    string
+		factory func() compress.Compressor
+	}
+	run := func(v variant) *core.Result {
+		sys := sc.NewSystem(CIFAR, 0.2, seed)
+		cfg := sc.BaseConfig(CIFAR, seed)
+		cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MergeLeftover: true}}
+		cfg.Sampling = sampling.ESRCoV
+		cfg.NewCompressor = v.factory
+		return core.Train(sys, cfg)
+	}
+	variants := []variant{
+		{"dense", nil},
+		{"q8", func() compress.Compressor { return compress.NewUniform(8, seed) }},
+		{"top-10%", nil}, // factory filled below (needs model size)
+	}
+	// Size top-k to ~10% of the model.
+	probe := sc.NewSystem(CIFAR, 0.2, seed)
+	k := probe.NewModel(probe.ModelSeed).NumParams() / 10
+	if k < 1 {
+		k = 1
+	}
+	variants[2].factory = func() compress.Compressor { return compress.NewTopK(k) }
+
+	var denseBytes int64
+	for i, v := range variants {
+		res := run(v)
+		if i == 0 {
+			denseBytes = res.UplinkBytes
+		}
+		ratio := 1.0
+		if denseBytes > 0 {
+			ratio = float64(res.UplinkBytes) / float64(denseBytes)
+		}
+		t.AddRow(
+			v.name,
+			fmt.Sprintf("%.1f", float64(res.UplinkBytes)/1e6),
+			fmt.Sprintf("%.0f%%", ratio*100),
+			fmt.Sprintf("%.2f%%", res.FinalAccuracy*100),
+		)
+	}
+	return t
+}
+
+// MultiModelTable compares group-to-model schedulers in the multi-model
+// HFL scenario the paper cites as reference [23] (Wei et al.): several
+// models share the edge fleet and each group serves one model per round.
+func MultiModelTable(sc Scale, seed uint64) *trace.Table {
+	t := &trace.Table{
+		ID:     "multimodel",
+		Title:  "Multi-model HFL: scheduler comparison (2 models)",
+		Header: []string{"scheduler", "mean accuracy", "model accuracies", "assignments"},
+	}
+	for _, sched := range []multimodel.Scheduler{multimodel.Random, multimodel.RoundRobin, multimodel.NeedyFirst} {
+		sys := sc.NewSystem(CIFAR, 0.2, seed)
+		base := sc.BaseConfig(CIFAR, seed)
+		base.Grouping = grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MergeLeftover: true}}
+		base.Sampling = sampling.ESRCoV
+		res := multimodel.Train(sys, multimodel.Config{
+			Models: 2, GroupsPerModel: sc.SampleGroups / 2,
+			Scheduler: sched, Train: base,
+		})
+		accs := ""
+		asg := ""
+		for m, st := range res.Models {
+			if m > 0 {
+				accs += " / "
+				asg += " / "
+			}
+			accs += fmt.Sprintf("%.2f%%", st.Accuracy*100)
+			asg += fmt.Sprintf("%d", res.Assignments[m])
+		}
+		t.AddRow(sched.String(), fmt.Sprintf("%.2f%%", res.MeanAccuracy*100), accs, asg)
+	}
+	return t
+}

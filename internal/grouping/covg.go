@@ -1,0 +1,164 @@
+package grouping
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/stats"
+)
+
+// CoVGrouping is the paper's greedy group formation (Alg. 2). Groups are
+// built one at a time: a random seed client starts the group, then the
+// client whose addition minimizes the group CoV is added until both the
+// MinGS and MaxCoV requirements hold (or no addition improves the CoV and
+// the size constraint is already met).
+//
+// GammaWeight optionally mixes the γ criterion of the paper's future-work
+// section into the score: score = CoV(labels) + GammaWeight·CoV(sample
+// counts), so groups are also balanced in per-client data volume. Zero
+// (the default) reproduces Alg. 2 exactly.
+type CoVGrouping struct {
+	Config
+	GammaWeight float64
+}
+
+// Name returns "CoVG".
+func (CoVGrouping) Name() string { return "CoVG" }
+
+// score evaluates the (possibly γ-augmented) criterion for a candidate
+// group histogram and client sample-count list.
+func (a CoVGrouping) score(counts []float64, sampleCounts []float64) float64 {
+	s := stats.CoVOfCounts(counts)
+	if a.GammaWeight > 0 {
+		s += a.GammaWeight * stats.CoV(sampleCounts)
+	}
+	return s
+}
+
+// Form implements Algorithm 2. The candidate evaluation is incremental
+// (running histogram plus candidate), so the whole formation costs
+// O(|K|² · |Y|) instead of the paper's stated O(|K|³ · |Y|) — the greedy
+// decisions are identical.
+func (a CoVGrouping) Form(clients []*data.Client, classes, edge, firstID int, rng *stats.RNG) []*Group {
+	if a.MinGS <= 0 {
+		panic("grouping: MinGS must be positive")
+	}
+	pool := append([]*data.Client(nil), clients...)
+	var groups []*Group
+
+	for len(pool) > 0 {
+		// Line 3: seed the new group with a random client.
+		pick := rng.IntN(len(pool))
+		g := NewGroup(firstID+len(groups), edge, nil, classes)
+		g.add(pool[pick])
+		pool[pick] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		sampleCounts := []float64{float64(g.Clients[len(g.Clients)-1].NumSamples())}
+
+		maxCoV := a.MaxCoV
+		if maxCoV <= 0 {
+			maxCoV = math.Inf(1)
+		}
+		// Line 4: grow while the requirement is unmet and clients remain.
+		for (a.score(g.Counts, sampleCounts) > maxCoV || g.Size() < a.MinGS) && len(pool) > 0 {
+			cur := a.score(g.Counts, sampleCounts)
+			// Line 5: the candidate minimizing the post-addition criterion.
+			best, bestScore := -1, math.Inf(1)
+			trial := make([]float64, classes)
+			for ci, c := range pool {
+				copy(trial, g.Counts)
+				for y, n := range c.Counts {
+					trial[y] += n
+				}
+				s := a.score(trial, append(sampleCounts, float64(c.NumSamples())))
+				if s < bestScore {
+					best, bestScore = ci, s
+				}
+			}
+			// Line 6: accept if it improves the criterion or the group is
+			// still too small.
+			if bestScore < cur || g.Size() < a.MinGS {
+				c := pool[best]
+				g.add(c)
+				sampleCounts = append(sampleCounts, float64(c.NumSamples()))
+				pool[best] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+			} else {
+				break // Line 9: finalize.
+			}
+		}
+		groups = append(groups, g)
+	}
+
+	// Optional leftover handling (see Config.MergeLeftover).
+	if a.MergeLeftover && len(groups) > 1 {
+		last := groups[len(groups)-1]
+		if last.Size() < a.MinGS {
+			groups = groups[:len(groups)-1]
+			mergeLeftover(groups, last, stats.CoVOfCounts)
+			// Re-number densely.
+			for i, g := range groups {
+				g.ID = firstID + i
+			}
+		}
+	}
+	return groups
+}
+
+// VarianceGrouping is the ablation variant that greedily minimizes the raw
+// histogram variance instead of the CoV — the criterion the paper argues
+// against in Sec. 5.1 because it is scale-sensitive. Structure is otherwise
+// identical to CoVGrouping with no MaxCoV constraint (variance has no
+// natural scale to threshold).
+type VarianceGrouping struct {
+	Config
+}
+
+// Name returns "VarG".
+func (VarianceGrouping) Name() string { return "VarG" }
+
+// Form greedily minimizes the post-addition histogram variance.
+func (a VarianceGrouping) Form(clients []*data.Client, classes, edge, firstID int, rng *stats.RNG) []*Group {
+	if a.MinGS <= 0 {
+		panic("grouping: MinGS must be positive")
+	}
+	pool := append([]*data.Client(nil), clients...)
+	var groups []*Group
+	for len(pool) > 0 {
+		pick := rng.IntN(len(pool))
+		g := NewGroup(firstID+len(groups), edge, nil, classes)
+		g.add(pool[pick])
+		pool[pick] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+
+		for g.Size() < a.MinGS && len(pool) > 0 {
+			best, bestScore := -1, math.Inf(1)
+			trial := make([]float64, classes)
+			for ci, c := range pool {
+				copy(trial, g.Counts)
+				for y, n := range c.Counts {
+					trial[y] += n
+				}
+				if s := stats.VarianceOfCounts(trial); s < bestScore {
+					best, bestScore = ci, s
+				}
+			}
+			c := pool[best]
+			g.add(c)
+			pool[best] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+		}
+		groups = append(groups, g)
+	}
+	if a.MergeLeftover && len(groups) > 1 {
+		last := groups[len(groups)-1]
+		if last.Size() < a.MinGS {
+			groups = groups[:len(groups)-1]
+			mergeLeftover(groups, last, stats.VarianceOfCounts)
+			for i, g := range groups {
+				g.ID = firstID + i
+			}
+		}
+	}
+	return groups
+}

@@ -1,0 +1,31 @@
+package groupio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures arbitrary input never panics the parser — it must
+// either produce a valid Input or an error.
+func FuzzParse(f *testing.F) {
+	f.Add(`{"classes": 2, "clients": [{"id": 0, "counts": [1, 2]}]}`)
+	f.Add(`{"clients": [{"id": 1, "counts": [5, 0, 5], "edge": 1}]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Add(`{"classes": -1, "clients": []}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		in, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// A successful parse must be internally consistent.
+		if in.Classes <= 0 || len(in.Clients) == 0 {
+			t.Fatalf("invalid Input accepted: %+v", in)
+		}
+		for _, c := range in.Clients {
+			if len(c.Counts) != in.Classes || c.Edge < 0 {
+				t.Fatalf("inconsistent client accepted: %+v", c)
+			}
+		}
+	})
+}

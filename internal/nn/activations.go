@@ -1,0 +1,85 @@
+package nn
+
+import "repro/internal/tensor"
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward clamps negatives to zero and records the active mask.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the forward input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Clone returns a fresh ReLU.
+func (r *ReLU) Clone() Layer { return &ReLU{} }
+
+// Name returns the layer name.
+func (r *ReLU) Name() string { return "relu" }
+
+// Flatten reshapes [batch, ...] to [batch, prod(...)]. It is a no-op for
+// already-2-D inputs.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all trailing dimensions into one.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	batch := x.Shape[0]
+	return x.Reshape(batch, x.Size()/batch)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Clone returns a fresh Flatten.
+func (f *Flatten) Clone() Layer { return &Flatten{} }
+
+// Name returns the layer name.
+func (f *Flatten) Name() string { return "flatten" }

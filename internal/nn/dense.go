@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b for x of shape
+// [batch, in] and W of shape [in, out].
+type Dense struct {
+	W, B   *tensor.Tensor
+	dW, dB *tensor.Tensor
+	x      *tensor.Tensor // cached input
+}
+
+// NewDense creates a dense layer with He-initialized weights.
+func NewDense(in, out int, rng *stats.RNG) *Dense {
+	d := &Dense{
+		W:  tensor.New(in, out),
+		B:  tensor.New(out),
+		dW: tensor.New(in, out),
+		dB: tensor.New(out),
+	}
+	d.W.RandNormal(rng, math.Sqrt(2/float64(in)))
+	return d
+}
+
+// Forward computes y = x·W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.x = x
+	batch := x.Shape[0]
+	out := tensor.New(batch, d.W.Shape[1])
+	tensor.MatMul(out, x, d.W)
+	ncols := d.B.Size()
+	for i := 0; i < batch; i++ {
+		row := out.Data[i*ncols : (i+1)*ncols]
+		for j, b := range d.B.Data {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀ·grad, dB = column-sum(grad) and returns
+// dX = grad·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	tensor.MatMulAT(d.dW, d.x, grad)
+	ncols := d.B.Size()
+	d.dB.Zero()
+	for i := 0; i < grad.Shape[0]; i++ {
+		row := grad.Data[i*ncols : (i+1)*ncols]
+		for j, g := range row {
+			d.dB.Data[j] += g
+		}
+	}
+	dx := tensor.New(grad.Shape[0], d.W.Shape[0])
+	tensor.MatMulBT(dx, grad, d.W)
+	return dx
+}
+
+// Params returns [W, B].
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads returns [dW, dB].
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
+
+// Clone deep-copies the layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		W:  d.W.Clone(),
+		B:  d.B.Clone(),
+		dW: tensor.New(d.dW.Shape...),
+		dB: tensor.New(d.dB.Shape...),
+	}
+}
+
+// Name returns the layer name.
+func (d *Dense) Name() string { return "dense" }

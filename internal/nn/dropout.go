@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes each activation independently with probability Rate during
+// training and rescales survivors by 1/(1−Rate) (inverted dropout), so
+// evaluation is a plain identity.
+type Dropout struct {
+	Rate   float64
+	rng    *stats.RNG
+	mask   []bool
+	scaled bool // whether the last Forward applied the training mask
+}
+
+// NewDropout creates a dropout layer with its own deterministic stream.
+func NewDropout(rate float64, seed uint64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0, 1)")
+	}
+	return &Dropout{Rate: rate, rng: stats.NewRNG(seed)}
+}
+
+// Forward applies the mask in training mode, identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		// Mark the whole batch as kept so a Backward after an eval-mode
+		// Forward behaves as the identity.
+		if cap(d.mask) < len(x.Data) {
+			d.mask = make([]bool, len(x.Data))
+		}
+		d.mask = d.mask[:len(x.Data)]
+		for i := range d.mask {
+			d.mask[i] = true
+		}
+		d.scaled = false
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < len(out.Data) {
+		d.mask = make([]bool, len(out.Data))
+	}
+	d.mask = d.mask[:len(out.Data)]
+	d.scaled = true
+	scale := 1 / (1 - d.Rate)
+	for i := range out.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = false
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units with the same
+// rescale.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	scale := 1 / (1 - d.Rate)
+	for i := range out.Data {
+		if !d.mask[i] {
+			out.Data[i] = 0
+		} else if d.scaled {
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// Clone returns a dropout layer with a split random stream (clones used by
+// concurrent clients must not share state).
+func (d *Dropout) Clone() Layer {
+	return &Dropout{Rate: d.Rate, rng: d.rng.Split(0x0d20b0)}
+}
+
+// Name returns the layer name.
+func (d *Dropout) Name() string { return "dropout" }

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy couples the softmax activation with the negative
+// log-likelihood loss, the standard classification head. Combining the two
+// keeps the backward pass numerically trivial: dLogits = (softmax - onehot)/B.
+type SoftmaxCrossEntropy struct{}
+
+// Forward returns the mean cross-entropy loss over the batch and the softmax
+// probabilities (one row per sample). logits must be [batch, classes] and
+// labels must hold a class index per row.
+func (SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	b, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != b {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), b))
+	}
+	probs := tensor.New(b, c)
+	loss := 0.0
+	for i := 0; i < b; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		prow := probs.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			prow[j] = e
+			sum += e
+		}
+		for j := range prow {
+			prow[j] /= sum
+		}
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		p := prow[y]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(b), probs
+}
+
+// Backward returns the gradient of the mean loss w.r.t. the logits given the
+// probabilities produced by Forward.
+func (SoftmaxCrossEntropy) Backward(probs *tensor.Tensor, labels []int) *tensor.Tensor {
+	b, c := probs.Shape[0], probs.Shape[1]
+	grad := probs.Clone()
+	inv := 1.0 / float64(b)
+	for i := 0; i < b; i++ {
+		grad.Data[i*c+labels[i]] -= 1
+	}
+	grad.Scale(inv)
+	return grad
+}
+
+// Predict returns the argmax class per row of logits (or probabilities).
+func Predict(logits *tensor.Tensor) []int {
+	b, c := logits.Shape[0], logits.Shape[1]
+	out := make([]int, b)
+	for i := 0; i < b; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package nn
+
+import "repro/internal/stats"
+
+// NewMLP builds a multi-layer perceptron: in → hidden... → classes with ReLU
+// between dense layers. The experiment harness uses MLPs where the paper's
+// findings depend on the federated dynamics rather than the model family,
+// because they train an order of magnitude faster in pure Go.
+func NewMLP(in int, hidden []int, classes int, seed uint64) *Sequential {
+	rng := stats.NewRNG(seed)
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h, rng), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, classes, rng))
+	return NewSequential(layers...)
+}
+
+// NewCNN5 builds the lightweight 5-layer CNN the paper trains on
+// SpeechCommands: two conv+pool stages, then a two-layer classifier head.
+// Input is [batch, c, h, w].
+func NewCNN5(c, h, w, classes int, seed uint64) *Sequential {
+	rng := stats.NewRNG(seed)
+	conv1 := NewConv2D(c, 8, 3, 3, 1, 1, rng)
+	conv2 := NewConv2D(8, 16, 3, 3, 1, 1, rng)
+	// Two 2x2 pools shrink h×w by 4 in each dimension.
+	fh, fw := h/2/2, w/2/2
+	return NewSequential(
+		conv1, NewReLU(), NewMaxPool2D(2),
+		conv2, NewReLU(), NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(16*fh*fw, 64, rng), NewReLU(),
+		NewDense(64, classes, rng),
+	)
+}
+
+// NewResNetLite builds the "3-block ResNet" the paper trains on CIFAR-10,
+// scaled to the synthetic image sizes used here: a conv stem, three residual
+// blocks with channel growth and one spatial downsample, global average
+// pooling, and a dense classifier.
+func NewResNetLite(c, h, w, classes int, seed uint64) *Sequential {
+	rng := stats.NewRNG(seed)
+	stem := NewConv2D(c, 16, 3, 3, 1, 1, rng)
+	return NewSequential(
+		stem, NewReLU(),
+		NewResidual(16, 16, rng),
+		NewMaxPool2D(2),
+		NewResidual(16, 32, rng),
+		NewResidual(32, 32, rng),
+		NewGlobalAvgPool(),
+		NewDense(32, classes, rng),
+	)
+}
+
+// NewLogistic builds a linear softmax classifier (no hidden layers), the
+// cheapest model that still exhibits non-IID divergence. Used by fast tests.
+func NewLogistic(in, classes int, seed uint64) *Sequential {
+	rng := stats.NewRNG(seed)
+	return NewSequential(NewDense(in, classes, rng))
+}

@@ -1,0 +1,165 @@
+// Package nn is a compact, dependency-free neural network substrate: dense
+// and convolutional layers with explicit forward/backward passes, residual
+// blocks, softmax cross-entropy loss, and SGD. It provides exactly what the
+// federated learning algorithms in this repository need — models whose
+// parameters can be flattened to vectors, aggregated, perturbed, and
+// gradient-checked — without pulling in a deep learning framework (which Go
+// lacks; see DESIGN.md substitution table).
+//
+// All layers are single-goroutine objects: clone a model per concurrent
+// client. Heavy math (matrix multiplies inside dense/conv layers) is
+// parallelized internally by the tensor package.
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward; layers cache activations internally between the two.
+type Layer interface {
+	// Forward computes the layer output for a batch. train toggles
+	// training-only behaviour (none of the current layers need it, but the
+	// interface keeps dropout-style layers pluggable).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient of the loss w.r.t. the layer output
+	// and returns the gradient w.r.t. the layer input, accumulating
+	// parameter gradients internally.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns the gradient tensors aligned with Params.
+	Grads() []*tensor.Tensor
+	// Clone returns a deep copy with fresh caches and copied parameters.
+	Clone() Layer
+	// Name identifies the layer in error messages.
+	Name() string
+}
+
+// Sequential chains layers into a feed-forward network.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the batch x through every layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates grad back through every layer, accumulating parameter
+// gradients.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable tensors in layer order.
+func (s *Sequential) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient tensors in layer order.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range s.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// Clone deep-copies the network (parameters copied, caches fresh).
+func (s *Sequential) Clone() *Sequential {
+	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
+	for i, l := range s.Layers {
+		out.Layers[i] = l.Clone()
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// ParamVector flattens all parameters into a single new vector, in a stable
+// layer order. This is the representation exchanged by the federated
+// aggregation, secure aggregation, and backdoor detection code.
+func (s *Sequential) ParamVector() []float64 {
+	out := make([]float64, 0, s.NumParams())
+	for _, p := range s.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// SetParamVector writes v back into the parameters. len(v) must equal
+// NumParams.
+func (s *Sequential) SetParamVector(v []float64) {
+	off := 0
+	for _, p := range s.Params() {
+		n := p.Size()
+		if off+n > len(v) {
+			panic(fmt.Sprintf("nn: SetParamVector short vector: have %d, need %d", len(v), s.NumParams()))
+		}
+		copy(p.Data, v[off:off+n])
+		off += n
+	}
+	if off != len(v) {
+		panic(fmt.Sprintf("nn: SetParamVector length %d, want %d", len(v), off))
+	}
+}
+
+// GradVector flattens all gradients into a single new vector aligned with
+// ParamVector.
+func (s *Sequential) GradVector() []float64 {
+	out := make([]float64, 0, s.NumParams())
+	for _, g := range s.Grads() {
+		out = append(out, g.Data...)
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (s *Sequential) ZeroGrads() {
+	for _, g := range s.Grads() {
+		g.Zero()
+	}
+}
+
+// Summary returns a human-readable architecture description: one line per
+// layer with its parameter count, plus the total.
+func (s *Sequential) Summary() string {
+	var b strings.Builder
+	total := 0
+	for i, l := range s.Layers {
+		n := 0
+		for _, p := range l.Params() {
+			n += p.Size()
+		}
+		total += n
+		fmt.Fprintf(&b, "%2d  %-14s %8d params\n", i, l.Name(), n)
+	}
+	fmt.Fprintf(&b, "    %-14s %8d params\n", "total", total)
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// trainStep runs one forward+backward+step on the model.
+func trainStep(m *Sequential, x *tensor.Tensor, y []int, opt *SGD) {
+	var loss SoftmaxCrossEntropy
+	logits := m.Forward(x, true)
+	_, probs := loss.Forward(logits, y)
+	m.Backward(loss.Backward(probs, y))
+	opt.Step(m)
+}
+
+func benchModel(b *testing.B, m *Sequential, shape []int, classes int) {
+	b.Helper()
+	rng := stats.NewRNG(1)
+	x := tensor.New(shape...)
+	x.RandNormal(rng, 1)
+	y := make([]int, shape[0])
+	for i := range y {
+		y[i] = rng.IntN(classes)
+	}
+	opt := NewSGD(0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trainStep(m, x, y, opt)
+	}
+}
+
+// BenchmarkTrainStepMLP measures one batch-32 training step of the
+// experiment harness's MLP.
+func BenchmarkTrainStepMLP(b *testing.B) {
+	benchModel(b, NewMLP(24, []int{32}, 10, 1), []int{32, 24}, 10)
+}
+
+// BenchmarkTrainStepCNN5 measures one batch-16 step of the SC model.
+func BenchmarkTrainStepCNN5(b *testing.B) {
+	benchModel(b, NewCNN5(1, 12, 12, 35, 1), []int{16, 1, 12, 12}, 35)
+}
+
+// BenchmarkTrainStepResNetLite measures one batch-16 step of the CIFAR
+// model.
+func BenchmarkTrainStepResNetLite(b *testing.B) {
+	benchModel(b, NewResNetLite(3, 8, 8, 10, 1), []int{16, 3, 8, 8}, 10)
+}
+
+// BenchmarkForwardResNetLite measures inference only.
+func BenchmarkForwardResNetLite(b *testing.B) {
+	m := NewResNetLite(3, 8, 8, 10, 1)
+	rng := stats.NewRNG(2)
+	x := tensor.New(32, 3, 8, 8)
+	x.RandNormal(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+// BenchmarkParamVectorRoundTrip measures the flatten/restore path used by
+// every aggregation.
+func BenchmarkParamVectorRoundTrip(b *testing.B) {
+	m := NewResNetLite(3, 8, 8, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := m.ParamVector()
+		m.SetParamVector(v)
+	}
+}

@@ -1,0 +1,377 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func TestBatchNormNormalizesTraining(t *testing.T) {
+	bn := NewBatchNorm(3)
+	rng := stats.NewRNG(1)
+	x := tensor.New(16, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Normal(5, 3) // far from standardized
+	}
+	y := bn.Forward(x, true)
+	// Each feature column of the output should be ~N(0,1) (gamma=1, beta=0).
+	for f := 0; f < 3; f++ {
+		var sum, ss float64
+		for b := 0; b < 16; b++ {
+			v := y.At(b, f)
+			sum += v
+		}
+		mean := sum / 16
+		for b := 0; b < 16; b++ {
+			d := y.At(b, f) - mean
+			ss += d * d
+		}
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("feature %d mean %v", f, mean)
+		}
+		if v := ss / 16; math.Abs(v-1) > 1e-3 {
+			t.Fatalf("feature %d variance %v", f, v)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm(2)
+	rng := stats.NewRNG(2)
+	// Train on many batches to settle running stats.
+	for it := 0; it < 200; it++ {
+		x := tensor.New(32, 2)
+		for i := range x.Data {
+			x.Data[i] = rng.Normal(4, 2)
+		}
+		bn.Forward(x, true)
+	}
+	// Eval on a fresh batch from the same distribution: output should be
+	// roughly standardized even though eval stats are the running ones.
+	x := tensor.New(64, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.Normal(4, 2)
+	}
+	y := bn.Forward(x, false)
+	var sum float64
+	for _, v := range y.Data {
+		sum += v
+	}
+	if m := sum / float64(len(y.Data)); math.Abs(m) > 0.3 {
+		t.Fatalf("eval-mode mean %v, want ~0", m)
+	}
+}
+
+func TestBatchNorm4D(t *testing.T) {
+	bn := NewBatchNorm(2)
+	rng := stats.NewRNG(3)
+	x := tensor.New(4, 2, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Normal(-2, 4)
+	}
+	y := bn.Forward(x, true)
+	// Per-channel standardization across batch and space.
+	for c := 0; c < 2; c++ {
+		var sum float64
+		cnt := 0
+		for b := 0; b < 4; b++ {
+			for s := 0; s < 9; s++ {
+				sum += y.Data[(b*2+c)*9+s]
+				cnt++
+			}
+		}
+		if m := sum / float64(cnt); math.Abs(m) > 1e-9 {
+			t.Fatalf("channel %d mean %v", c, m)
+		}
+	}
+}
+
+func TestBatchNormGradCheck(t *testing.T) {
+	rng := stats.NewRNG(5)
+	net := NewSequential(
+		NewDense(4, 6, rng),
+		NewBatchNorm(6),
+		NewReLU(),
+		NewDense(6, 3, rng),
+	)
+	x := tensor.New(8, 4)
+	x.RandNormal(rng, 1)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	gradCheck(t, net, x, labels, 40, 2e-4)
+}
+
+func TestBatchNormConvGradCheck(t *testing.T) {
+	rng := stats.NewRNG(6)
+	net := NewSequential(
+		NewConv2D(1, 3, 3, 3, 1, 1, rng),
+		NewBatchNorm(3),
+		NewReLU(),
+		NewGlobalAvgPool(),
+		NewDense(3, 2, rng),
+	)
+	x := tensor.New(3, 1, 4, 4)
+	x.RandNormal(rng, 1)
+	gradCheck(t, net, x, []int{0, 1, 0}, 40, 2e-4)
+}
+
+func TestBatchNormCloneIndependent(t *testing.T) {
+	bn := NewBatchNorm(2)
+	bn.RunMean.Data[0] = 5
+	c := bn.Clone().(*BatchNorm)
+	c.RunMean.Data[0] = 9
+	if bn.RunMean.Data[0] != 5 {
+		t.Fatal("clone shares running stats")
+	}
+	if c.Gamma.Data[0] != 1 || c.RunVar.Data[1] != 1 {
+		t.Fatal("clone lost initialization")
+	}
+}
+
+func TestBatchNormParamVectorIncludesRunningStats(t *testing.T) {
+	net := NewSequential(NewBatchNorm(2))
+	if got := len(net.ParamVector()); got != 8 { // gamma, beta, mean, var
+		t.Fatalf("param vector length %d, want 8", got)
+	}
+	// SGD must leave running stats untouched (zero grads).
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := net.Forward(x, true)
+	net.Backward(y.Clone())
+	before := append([]float64(nil), net.Layers[0].(*BatchNorm).RunMean.Data...)
+	NewSGD(0.5).Step(net)
+	after := net.Layers[0].(*BatchNorm).RunMean.Data
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("SGD modified running statistics")
+		}
+	}
+}
+
+func TestBatchNormBadShapePanics(t *testing.T) {
+	bn := NewBatchNorm(3)
+	for _, x := range []*tensor.Tensor{
+		tensor.New(2, 4),       // wrong feature count
+		tensor.New(2, 4, 2, 2), // wrong channel count
+		tensor.New(6),          // wrong rank
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for shape %v", x.Shape)
+				}
+			}()
+			bn.Forward(x, true)
+		}()
+	}
+}
+
+func TestDropoutEvalIdentity(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+	// Backward after eval forward is also identity.
+	g := d.Backward(x)
+	for i := range x.Data {
+		if g.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout backward must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainRateAndScale(t *testing.T) {
+	d := NewDropout(0.3, 2)
+	n := 20000
+	x := tensor.New(1, n)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros, sum := 0, 0.0
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(v-1/0.7) > 1e-12 {
+			t.Fatalf("survivor scaled to %v, want %v", v, 1/0.7)
+		}
+		sum += v
+	}
+	frac := float64(zeros) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("dropped fraction %v, want ~0.3", frac)
+	}
+	// Inverted dropout preserves the expectation.
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.03 {
+		t.Fatalf("post-dropout mean %v, want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, 3)
+	x := tensor.New(1, 100)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	g := tensor.New(1, 100)
+	g.Fill(1)
+	dx := d.Backward(g)
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+}
+
+func TestDropoutClonesDiverge(t *testing.T) {
+	d := NewDropout(0.5, 4)
+	c := d.Clone().(*Dropout)
+	x := tensor.New(1, 200)
+	x.Fill(1)
+	a := d.Forward(x, true).Clone()
+	b := c.Forward(x, true)
+	same := 0
+	for i := range a.Data {
+		if (a.Data[i] == 0) == (b.Data[i] == 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("clone shares the random stream")
+	}
+}
+
+func TestDropoutBadRatePanics(t *testing.T) {
+	for _, r := range []float64{-0.1, 1.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for rate %v", r)
+				}
+			}()
+			NewDropout(r, 1)
+		}()
+	}
+}
+
+func TestTanhSigmoidLeakyGradCheck(t *testing.T) {
+	rng := stats.NewRNG(7)
+	net := NewSequential(
+		NewDense(4, 6, rng), NewTanh(),
+		NewDense(6, 6, rng), NewSigmoid(),
+		NewDense(6, 5, rng), NewLeakyReLU(0.1),
+		NewDense(5, 3, rng),
+	)
+	x := tensor.New(5, 4)
+	x.RandNormal(rng, 1)
+	gradCheck(t, net, x, []int{0, 1, 2, 1, 0}, 50, 2e-4)
+}
+
+func TestActivationKnownValues(t *testing.T) {
+	x := tensor.FromSlice([]float64{0, 1, -1}, 1, 3)
+	y := NewTanh().Forward(x, false)
+	if y.Data[0] != 0 || math.Abs(y.Data[1]-math.Tanh(1)) > 1e-15 {
+		t.Fatal("tanh values wrong")
+	}
+	s := NewSigmoid().Forward(x, false)
+	if math.Abs(s.Data[0]-0.5) > 1e-15 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+	l := NewLeakyReLU(0.2).Forward(x, false)
+	if l.Data[1] != 1 || math.Abs(l.Data[2]+0.2) > 1e-15 {
+		t.Fatalf("leaky relu values wrong: %v", l.Data)
+	}
+}
+
+func TestAdamConvergesFasterThanSGDOnIllConditioned(t *testing.T) {
+	// A badly scaled input makes plain SGD slow; Adam should reach a lower
+	// loss in the same budget.
+	build := func() (*Sequential, *tensor.Tensor, []int) {
+		rng := stats.NewRNG(11)
+		m := NewMLP(2, []int{8}, 2, 5)
+		x := tensor.New(32, 2)
+		labels := make([]int, 32)
+		for i := 0; i < 32; i++ {
+			cls := i % 2
+			x.Data[i*2] = rng.Normal(float64(2*cls-1), 0.2) * 100 // huge scale
+			x.Data[i*2+1] = rng.Normal(float64(1-2*cls), 0.2) * 0.01
+			labels[i] = cls
+		}
+		return m, x, labels
+	}
+	runLoss := func(step func(m *Sequential)) float64 {
+		m, x, labels := build()
+		loss := SoftmaxCrossEntropy{}
+		for it := 0; it < 40; it++ {
+			logits := m.Forward(x, true)
+			_, probs := loss.Forward(logits, labels)
+			m.Backward(loss.Backward(probs, labels))
+			step(m)
+		}
+		l, _ := SoftmaxCrossEntropy{}.Forward(m.Forward(x, false), labels)
+		return l
+	}
+	sgd := NewSGD(1e-4) // must be tiny or it diverges on the x100 feature
+	adam := NewAdam(0.05)
+	sgdLoss := runLoss(func(m *Sequential) { sgd.Step(m) })
+	adamLoss := runLoss(func(m *Sequential) { adam.Step(m) })
+	if adamLoss >= sgdLoss {
+		t.Fatalf("Adam loss %v should beat SGD %v on ill-conditioned data", adamLoss, sgdLoss)
+	}
+}
+
+func TestAdamWeightDecayShrinksWeights(t *testing.T) {
+	m := NewLogistic(4, 2, 9)
+	adam := NewAdam(0.01)
+	adam.WeightDecay = 0.5
+	before := 0.0
+	for _, v := range m.ParamVector() {
+		before += v * v
+	}
+	// Zero gradients: only decay acts.
+	m.ZeroGrads()
+	for i := 0; i < 20; i++ {
+		adam.Step(m)
+	}
+	after := 0.0
+	for _, v := range m.ParamVector() {
+		after += v * v
+	}
+	if after >= before {
+		t.Fatalf("weight decay failed: %v -> %v", before, after)
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	if ConstantLR(0.1).At(0) != 0.1 || ConstantLR(0.1).At(1000) != 0.1 {
+		t.Fatal("constant schedule wrong")
+	}
+	sd := StepDecay{Base: 1, Factor: 0.5, Every: 10}
+	if sd.At(0) != 1 || sd.At(10) != 0.5 || sd.At(25) != 0.25 {
+		t.Fatalf("step decay wrong: %v %v %v", sd.At(0), sd.At(10), sd.At(25))
+	}
+	if (StepDecay{Base: 2}).At(100) != 2 {
+		t.Fatal("step decay without Every should be constant")
+	}
+	cd := CosineDecay{Base: 1, Floor: 0.1, Horizon: 100}
+	if cd.At(0) != 1 {
+		t.Fatalf("cosine at 0 = %v", cd.At(0))
+	}
+	if got := cd.At(100); got != 0.1 {
+		t.Fatalf("cosine past horizon = %v", got)
+	}
+	mid := cd.At(50)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("cosine midpoint = %v", mid)
+	}
+	// Monotone non-increasing.
+	prev := cd.At(0)
+	for s := 1; s <= 100; s++ {
+		if v := cd.At(s); v > prev+1e-12 {
+			t.Fatalf("cosine not monotone at %d", s)
+		} else {
+			prev = v
+		}
+	}
+}

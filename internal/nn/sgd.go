@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+// The paper's local update (Alg. 1 line 13) is plain SGD; momentum and decay
+// are exposed for the ablation benches.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	vel         []*tensor.Tensor
+}
+
+// NewSGD returns an optimizer with the given learning rate and no momentum
+// or weight decay.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies one descent update to every parameter of m using the
+// currently accumulated gradients. Gradients are not cleared; call
+// m.ZeroGrads() if the next batch should start fresh (per-batch backward
+// passes overwrite dense/conv gradients, so the common loop does not need
+// to).
+func (o *SGD) Step(m *Sequential) {
+	params := m.Params()
+	grads := m.Grads()
+	if o.Momentum != 0 && o.vel == nil {
+		o.vel = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			o.vel[i] = tensor.New(p.Shape...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		if o.WeightDecay != 0 {
+			// g += wd * p, folded into the update below without mutating g.
+			if o.Momentum != 0 {
+				v := o.vel[i]
+				for j := range p.Data {
+					gv := g.Data[j] + o.WeightDecay*p.Data[j]
+					v.Data[j] = o.Momentum*v.Data[j] + gv
+					p.Data[j] -= o.LR * v.Data[j]
+				}
+			} else {
+				for j := range p.Data {
+					p.Data[j] -= o.LR * (g.Data[j] + o.WeightDecay*p.Data[j])
+				}
+			}
+			continue
+		}
+		if o.Momentum != 0 {
+			v := o.vel[i]
+			for j := range p.Data {
+				v.Data[j] = o.Momentum*v.Data[j] + g.Data[j]
+				p.Data[j] -= o.LR * v.Data[j]
+			}
+		} else {
+			p.AddScaled(-o.LR, g)
+		}
+	}
+}
+
+// ClipGradNorm rescales the model's gradients so their global L2 norm is at
+// most maxNorm, returning the pre-clip norm. A non-positive maxNorm is a
+// no-op.
+func ClipGradNorm(m *Sequential, maxNorm float64) float64 {
+	total := 0.0
+	for _, g := range m.Grads() {
+		n := g.Norm()
+		total += n * n
+	}
+	norm := math.Sqrt(total)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, g := range m.Grads() {
+		g.Scale(scale)
+	}
+	return norm
+}

@@ -1,0 +1,52 @@
+package secagg
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizeRoundTrip checks the fixed-point codec on arbitrary values:
+// encode→decode stays within one quantization step of the clipped input.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add(0.0, 1.5)
+	f.Add(-7.99, 7.99)
+	f.Add(1e300, -1e300)
+	f.Add(math.Inf(1), math.Inf(-1))
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return // NaN clipping is undefined by contract
+		}
+		q := DefaultQuantizer()
+		in := []float64{a, b}
+		dec := q.Dequantize(q.Quantize(in), 1)
+		for i, v := range in {
+			clipped := math.Max(-q.Clip, math.Min(q.Clip, v))
+			if math.Abs(dec[i]-clipped) > 2/q.Scale {
+				t.Fatalf("round trip %v -> %v (clipped %v)", v, dec[i], clipped)
+			}
+		}
+	})
+}
+
+// FuzzFieldOps checks algebraic identities of the Mersenne-field arithmetic
+// on arbitrary inputs.
+func FuzzFieldOps(f *testing.F) {
+	f.Add(uint64(0), uint64(1))
+	f.Add(P-1, P-1)
+	f.Add(^uint64(0), uint64(12345))
+	f.Fuzz(func(t *testing.T, x, y uint64) {
+		a, b := Reduce(x), Reduce(y)
+		if Add(a, b) != Add(b, a) {
+			t.Fatal("Add not commutative")
+		}
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatal("Mul not commutative")
+		}
+		if Sub(Add(a, b), b) != a {
+			t.Fatal("Sub does not invert Add")
+		}
+		if a != 0 && Mul(a, Inv(a)) != 1 {
+			t.Fatal("Inv broken")
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package secagg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// MaskStream deterministically expands a 64-bit seed into field elements
+// using SHA-256 in counter mode. Both endpoints of a pairwise mask derive
+// the same stream from the agreed seed, so the masks cancel in the sum.
+func MaskStream(seed uint64, dim int) []uint64 {
+	out := make([]uint64, dim)
+	var block [16]byte
+	binary.LittleEndian.PutUint64(block[:8], seed)
+	i := 0
+	for ctr := uint64(0); i < dim; ctr++ {
+		binary.LittleEndian.PutUint64(block[8:], ctr)
+		h := sha256.Sum256(block[:])
+		for off := 0; off+8 <= len(h) && i < dim; off += 8 {
+			out[i] = Reduce(binary.LittleEndian.Uint64(h[off : off+8]))
+			i++
+		}
+	}
+	return out
+}
+
+// DeriveSeed hashes the session seed with the two party identities into a
+// shared pairwise seed; the simulation stands in for the Diffie–Hellman key
+// agreement round of the real protocol (both orderings agree).
+func DeriveSeed(session uint64, a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[:8], session)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(a))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(b))
+	h := sha256.Sum256(buf[:])
+	return binary.LittleEndian.Uint64(h[:8])
+}

@@ -1,0 +1,66 @@
+package secagg
+
+import "fmt"
+
+// Quantizer maps float64 update vectors to field elements and back via
+// signed fixed-point encoding. Values are clipped to [−Clip, Clip] and
+// scaled by Scale; negative values wrap modulo P. Correct dequantization of
+// a sum of k vectors requires k·Clip·Scale < P/2, which Check enforces.
+type Quantizer struct {
+	// Scale is the fixed-point multiplier (resolution = 1/Scale).
+	Scale float64
+	// Clip bounds each coordinate's absolute value before encoding.
+	Clip float64
+}
+
+// DefaultQuantizer gives ~1e-6 resolution with generous headroom: sums of
+// up to ~10⁵ clipped updates decode exactly.
+func DefaultQuantizer() Quantizer { return Quantizer{Scale: 1 << 20, Clip: 8} }
+
+// Check panics if a sum over parties vectors could overflow the field's
+// signed range.
+func (q Quantizer) Check(parties int) {
+	if q.Scale <= 0 || q.Clip <= 0 {
+		panic("secagg: Quantizer needs positive Scale and Clip")
+	}
+	if float64(parties)*q.Clip*q.Scale >= float64(P/2) {
+		panic(fmt.Sprintf("secagg: %d parties × Clip %g × Scale %g overflows field", parties, q.Clip, q.Scale))
+	}
+}
+
+// Quantize encodes v into field elements.
+func (q Quantizer) Quantize(v []float64) []uint64 {
+	out := make([]uint64, len(v))
+	for i, x := range v {
+		if x > q.Clip {
+			x = q.Clip
+		} else if x < -q.Clip {
+			x = -q.Clip
+		}
+		scaled := int64(x * q.Scale)
+		if scaled >= 0 {
+			out[i] = Reduce(uint64(scaled))
+		} else {
+			out[i] = Neg(uint64(-scaled))
+		}
+	}
+	return out
+}
+
+// Dequantize decodes a field-element vector that encodes a sum of at most
+// maxParties quantized updates back to floats, interpreting values above
+// P/2 as negative.
+func (q Quantizer) Dequantize(v []uint64, maxParties int) []float64 {
+	q.Check(maxParties)
+	out := make([]float64, len(v))
+	half := P / 2
+	for i, x := range v {
+		x = Reduce(x)
+		if x > half {
+			out[i] = -float64(P-x) / q.Scale
+		} else {
+			out[i] = float64(x) / q.Scale
+		}
+	}
+	return out
+}

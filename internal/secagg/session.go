@@ -1,0 +1,229 @@
+package secagg
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// OpCounts records the work performed during one aggregation, used by the
+// experiment harness to confirm the quadratic-in-group-size cost shape of
+// Fig. 8.
+type OpCounts struct {
+	// MaskStreams is the number of PRG mask expansions (pairwise + self).
+	MaskStreams int
+	// SharesDealt is the number of Shamir shares created.
+	SharesDealt int
+	// SharesUsed is the number of shares consumed during reconstruction.
+	SharesUsed int
+	// FieldOps approximates the element-wise field additions performed.
+	FieldOps int
+}
+
+// Session runs one secure aggregation among n clients over dim-dimensional
+// updates. The flow mirrors Bonawitz et al. (CCS'17), collapsed to the
+// simulation's trust model:
+//
+//  1. setup: every client i derives a pairwise seed with every j (stand-in
+//     for the DH round) and a personal mask seed b_i, then Shamir-shares
+//     its secret key s_i and b_i with the group (threshold T).
+//  2. MaskedUpdate(i, v): client i submits v blinded by its personal mask
+//     and all pairwise masks.
+//  3. Aggregate(masked, dropped): the server removes the personal masks of
+//     survivors (reconstructing b_i from shares) and the pairwise masks of
+//     dropped clients (reconstructing s_i), yielding exactly the sum of
+//     surviving clients' quantized updates.
+type Session struct {
+	N, Dim    int
+	Threshold int
+	Quant     Quantizer
+
+	sessionSeed uint64
+	selfSeeds   []uint64  // b_i
+	selfShares  [][]Share // selfShares[i] held by the group
+	keyShares   [][]Share // shares of s_i (here: of the session-pair seeds' base)
+
+	ops OpCounts
+}
+
+// NewSession prepares a secure aggregation session. threshold is the Shamir
+// reconstruction threshold T; the aggregation can tolerate up to
+// n−threshold dropped clients.
+func NewSession(n, dim, threshold int, seed uint64, q Quantizer) *Session {
+	if n < 2 {
+		panic("secagg: need at least 2 clients")
+	}
+	if threshold < 1 || threshold > n {
+		panic(fmt.Sprintf("secagg: invalid threshold %d for %d clients", threshold, n))
+	}
+	q.Check(n)
+	rng := stats.NewRNG(seed ^ 0x5ec4a66)
+	s := &Session{
+		N: n, Dim: dim, Threshold: threshold, Quant: q,
+		sessionSeed: seed,
+		selfSeeds:   make([]uint64, n),
+		selfShares:  make([][]Share, n),
+		keyShares:   make([][]Share, n),
+	}
+	for i := 0; i < n; i++ {
+		s.selfSeeds[i] = rng.Uint64()
+		s.selfShares[i] = Split(Reduce(s.selfSeeds[i]), n, threshold, rng)
+		// In the real protocol each client shares its DH secret; the
+		// simulation derives pairwise seeds from the session seed, so the
+		// shared "key" is a per-client token the server can use to re-derive
+		// that client's pairwise seeds on dropout.
+		s.keyShares[i] = Split(Reduce(uint64(i)+1), n, threshold, rng)
+		s.ops.SharesDealt += 2 * n
+	}
+	return s
+}
+
+// MaskedUpdate produces client i's blinded, quantized update.
+func (s *Session) MaskedUpdate(i int, update []float64) []uint64 {
+	if i < 0 || i >= s.N {
+		panic(fmt.Sprintf("secagg: client %d out of range", i))
+	}
+	if len(update) != s.Dim {
+		panic(fmt.Sprintf("secagg: update dim %d, want %d", len(update), s.Dim))
+	}
+	y := s.Quant.Quantize(update)
+	// Personal mask.
+	self := MaskStream(s.selfSeeds[i], s.Dim)
+	s.ops.MaskStreams++
+	for d := 0; d < s.Dim; d++ {
+		y[d] = Add(y[d], self[d])
+	}
+	s.ops.FieldOps += s.Dim
+	// Pairwise masks: +mask for j>i, −mask for j<i, so they cancel in the
+	// full sum.
+	for j := 0; j < s.N; j++ {
+		if j == i {
+			continue
+		}
+		m := MaskStream(DeriveSeed(s.sessionSeed, i, j), s.Dim)
+		s.ops.MaskStreams++
+		if j > i {
+			for d := 0; d < s.Dim; d++ {
+				y[d] = Add(y[d], m[d])
+			}
+		} else {
+			for d := 0; d < s.Dim; d++ {
+				y[d] = Sub(y[d], m[d])
+			}
+		}
+		s.ops.FieldOps += s.Dim
+	}
+	return y
+}
+
+// Aggregate sums the survivors' masked updates and removes the residual
+// masks: survivors' personal masks (via their Shamir shares) and dropped
+// clients' pairwise masks (via their reconstructed keys). masked[i] must be
+// nil exactly for dropped clients. It returns the dequantized sum of the
+// surviving clients' updates.
+func (s *Session) Aggregate(masked [][]uint64, dropped []int) ([]float64, error) {
+	if len(masked) != s.N {
+		return nil, fmt.Errorf("secagg: %d masked updates for %d clients", len(masked), s.N)
+	}
+	isDropped := make([]bool, s.N)
+	for _, d := range dropped {
+		if d < 0 || d >= s.N {
+			return nil, fmt.Errorf("secagg: dropped index %d out of range", d)
+		}
+		isDropped[d] = true
+	}
+	survivors := 0
+	for i := 0; i < s.N; i++ {
+		if isDropped[i] {
+			if masked[i] != nil {
+				return nil, fmt.Errorf("secagg: dropped client %d submitted an update", i)
+			}
+			continue
+		}
+		if masked[i] == nil {
+			return nil, fmt.Errorf("secagg: surviving client %d missing update", i)
+		}
+		survivors++
+	}
+	if survivors < s.Threshold {
+		return nil, fmt.Errorf("secagg: %d survivors below threshold %d", survivors, s.Threshold)
+	}
+
+	sum := make([]uint64, s.Dim)
+	for i := 0; i < s.N; i++ {
+		if isDropped[i] {
+			continue
+		}
+		for d := 0; d < s.Dim; d++ {
+			sum[d] = Add(sum[d], masked[i][d])
+		}
+		s.ops.FieldOps += s.Dim
+	}
+
+	// Remove survivors' personal masks: reconstruct b_i from the first
+	// Threshold shares held by surviving clients.
+	for i := 0; i < s.N; i++ {
+		if isDropped[i] {
+			continue
+		}
+		shares := s.collectShares(s.selfShares[i], isDropped)
+		b := Reconstruct(shares)
+		if b != Reduce(s.selfSeeds[i]) {
+			return nil, fmt.Errorf("secagg: personal mask reconstruction failed for client %d", i)
+		}
+		m := MaskStream(s.selfSeeds[i], s.Dim)
+		s.ops.MaskStreams++
+		for d := 0; d < s.Dim; d++ {
+			sum[d] = Sub(sum[d], m[d])
+		}
+		s.ops.FieldOps += s.Dim
+	}
+
+	// Remove dropped clients' pairwise masks with every survivor. The
+	// reconstruction of the dropped client's key token authorizes the
+	// server to re-derive its pairwise seeds.
+	for _, dc := range dropped {
+		shares := s.collectShares(s.keyShares[dc], isDropped)
+		if got := Reconstruct(shares); got != Reduce(uint64(dc)+1) {
+			return nil, fmt.Errorf("secagg: key reconstruction failed for dropped client %d", dc)
+		}
+		for j := 0; j < s.N; j++ {
+			if j == dc || isDropped[j] {
+				continue
+			}
+			m := MaskStream(DeriveSeed(s.sessionSeed, dc, j), s.Dim)
+			s.ops.MaskStreams++
+			// Survivor j applied sign(dc-j): if dc > j survivor added
+			// +mask... mask sign convention: client j adds +m for partner
+			// dc>j, −m for dc<j. Undo exactly that contribution.
+			if dc > j {
+				for d := 0; d < s.Dim; d++ {
+					sum[d] = Sub(sum[d], m[d])
+				}
+			} else {
+				for d := 0; d < s.Dim; d++ {
+					sum[d] = Add(sum[d], m[d])
+				}
+			}
+			s.ops.FieldOps += s.Dim
+		}
+	}
+
+	return s.Quant.Dequantize(sum, survivors), nil
+}
+
+// collectShares gathers Threshold shares from surviving holders. Share k of
+// a secret is held by client k.
+func (s *Session) collectShares(all []Share, isDropped []bool) []Share {
+	out := make([]Share, 0, s.Threshold)
+	for k := 0; k < s.N && len(out) < s.Threshold; k++ {
+		if !isDropped[k] {
+			out = append(out, all[k])
+			s.ops.SharesUsed++
+		}
+	}
+	return out
+}
+
+// Ops returns the accumulated operation counts.
+func (s *Session) Ops() OpCounts { return s.ops }

@@ -1,0 +1,63 @@
+package secagg
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Share is one Shamir share: the polynomial evaluated at X.
+type Share struct {
+	X uint64
+	Y uint64
+}
+
+// Split shares secret among n parties with reconstruction threshold t
+// (any t shares reconstruct; fewer reveal nothing). Shares are evaluated at
+// x = 1..n.
+func Split(secret uint64, n, t int, rng *stats.RNG) []Share {
+	if t < 1 || t > n {
+		panic(fmt.Sprintf("secagg: invalid threshold %d for %d parties", t, n))
+	}
+	// Random polynomial of degree t-1 with constant term = secret.
+	coeffs := make([]uint64, t)
+	coeffs[0] = Reduce(secret)
+	for i := 1; i < t; i++ {
+		coeffs[i] = Reduce(rng.Uint64())
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := uint64(i + 1)
+		// Horner evaluation.
+		y := uint64(0)
+		for j := t - 1; j >= 0; j-- {
+			y = Add(Mul(y, x), coeffs[j])
+		}
+		shares[i] = Share{X: x, Y: y}
+	}
+	return shares
+}
+
+// Reconstruct recovers the secret from at least t distinct shares by
+// Lagrange interpolation at zero.
+func Reconstruct(shares []Share) uint64 {
+	if len(shares) == 0 {
+		panic("secagg: no shares")
+	}
+	secret := uint64(0)
+	for i, si := range shares {
+		num, den := uint64(1), uint64(1)
+		for j, sj := range shares {
+			if i == j {
+				continue
+			}
+			if si.X == sj.X {
+				panic("secagg: duplicate share X")
+			}
+			num = Mul(num, Neg(sj.X))       // ∏ (0 - x_j)
+			den = Mul(den, Sub(si.X, sj.X)) // ∏ (x_i - x_j)
+		}
+		secret = Add(secret, Mul(si.Y, Mul(num, Inv(den))))
+	}
+	return secret
+}

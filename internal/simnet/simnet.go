@@ -1,0 +1,167 @@
+// Package simnet is a small discrete-event simulator of the cloud–edge–
+// client network underlying Group-FEL. It models links with latency and
+// bandwidth, delivers messages between named nodes in timestamp order, and
+// provides closed-form round-time helpers used by the experiment harness to
+// report wall-clock-style communication costs alongside the Eq. 5 compute
+// cost model.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Link models a network link with fixed latency (seconds) and bandwidth
+// (bytes per second).
+type Link struct {
+	Latency   float64
+	Bandwidth float64
+}
+
+// TransferTime returns the time to move the given payload across the link.
+func (l Link) TransferTime(bytes int) float64 {
+	if l.Bandwidth <= 0 {
+		panic("simnet: link bandwidth must be positive")
+	}
+	return l.Latency + float64(bytes)/l.Bandwidth
+}
+
+// Topology is the two-tier link structure of the paper's Fig. 1: clients
+// reach their edge server over a fast local link; edges reach the cloud
+// over a slower wide-area link.
+type Topology struct {
+	ClientEdge Link
+	EdgeCloud  Link
+}
+
+// Default returns a topology with edge-computing-typical numbers: ~5 ms /
+// 25 MB/s client–edge, ~40 ms / 5 MB/s edge–cloud.
+func Default() Topology {
+	return Topology{
+		ClientEdge: Link{Latency: 0.005, Bandwidth: 25e6},
+		EdgeCloud:  Link{Latency: 0.040, Bandwidth: 5e6},
+	}
+}
+
+// GroupRoundTime returns the wall-clock time of one group round: the group
+// model is broadcast to all clients (parallel downloads), every client
+// computes (the slowest gates the round), and uploads return to the edge.
+func (t Topology) GroupRoundTime(modelBytes int, clientCompute []float64) float64 {
+	if len(clientCompute) == 0 {
+		return 0
+	}
+	down := t.ClientEdge.TransferTime(modelBytes)
+	up := t.ClientEdge.TransferTime(modelBytes)
+	maxCompute := 0.0
+	for _, c := range clientCompute {
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	return down + maxCompute + up
+}
+
+// GlobalRoundTime returns the wall-clock time of one global round: the
+// cloud pushes the model to the participating edges, each runs K group
+// rounds for its selected groups (groups on one edge run concurrently, so
+// the slowest gates the edge), and group models return to the cloud.
+// groupTimes[e] lists the single-group-round times of the selected groups
+// on edge e.
+func (t Topology) GlobalRoundTime(modelBytes, groupRounds int, groupTimes [][]float64) float64 {
+	down := t.EdgeCloud.TransferTime(modelBytes)
+	up := t.EdgeCloud.TransferTime(modelBytes)
+	slowestEdge := 0.0
+	for _, times := range groupTimes {
+		edgeTime := 0.0
+		for _, gt := range times {
+			if gt > edgeTime {
+				edgeTime = gt
+			}
+		}
+		edgeTime *= float64(groupRounds)
+		if edgeTime > slowestEdge {
+			slowestEdge = edgeTime
+		}
+	}
+	return down + slowestEdge + up
+}
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From, To string
+	Kind     string
+	Bytes    int
+	Payload  any
+}
+
+// Handler processes a message delivered to a node at simulated time `at`.
+type Handler func(s *Simulator, at float64, msg Message)
+
+type event struct {
+	at  float64
+	seq int // FIFO tiebreak for determinism
+	msg Message
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulator delivers messages between registered nodes in timestamp order.
+type Simulator struct {
+	now      float64
+	seq      int
+	queue    eventHeap
+	handlers map[string]Handler
+	// Delivered counts total messages delivered, for tests and accounting.
+	Delivered int
+}
+
+// New creates an empty simulator at time 0.
+func New() *Simulator {
+	return &Simulator{handlers: make(map[string]Handler)}
+}
+
+// AddNode registers a named node with its message handler.
+func (s *Simulator) AddNode(name string, h Handler) {
+	if _, dup := s.handlers[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	s.handlers[name] = h
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Send schedules msg for delivery over link, departing at time `at` (which
+// must not precede the current time).
+func (s *Simulator) Send(at float64, msg Message, link Link) {
+	if at < s.now {
+		panic(fmt.Sprintf("simnet: send at %v before now %v", at, s.now))
+	}
+	if _, ok := s.handlers[msg.To]; !ok {
+		panic(fmt.Sprintf("simnet: unknown destination %q", msg.To))
+	}
+	heap.Push(&s.queue, event{at: at + link.TransferTime(msg.Bytes), seq: s.seq, msg: msg})
+	s.seq++
+}
+
+// Run delivers events until the queue drains, returning the final time.
+func (s *Simulator) Run() float64 {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		s.Delivered++
+		s.handlers[e.msg.To](s, e.at, e.msg)
+	}
+	return s.now
+}

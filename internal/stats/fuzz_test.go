@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCoVOfCounts ensures the grouping criterion never panics or returns
+// NaN/negative values on arbitrary histograms.
+func FuzzCoVOfCounts(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(1e308, 1e-308, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			a < 0 || b < 0 || c < 0 {
+			return // histogram counts are non-negative by contract
+		}
+		got := CoVOfCounts([]float64{a, b, c})
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("CoVOfCounts(%v,%v,%v) = %v", a, b, c, got)
+		}
+	})
+}
+
+// FuzzKLDivergence ensures non-negativity for arbitrary normalized pairs.
+func FuzzKLDivergence(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 1.0)
+	f.Add(0.0, 1.0, 1.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		vals := []float64{a, b, c, d}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return
+			}
+		}
+		p := Normalize([]float64{a, b})
+		q := Normalize([]float64{c, d})
+		if got := KLDivergence(p, q); math.IsNaN(got) || got < 0 {
+			t.Fatalf("KL(%v||%v) = %v", p, q, got)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate number of multiply-adds below which a
+// matmul runs single-threaded; goroutine fan-out costs more than it saves on
+// tiny matrices.
+const parallelThreshold = 1 << 16
+
+// MatMul computes dst = a × b for 2-D tensors a (m×k) and b (k×n), writing
+// into dst (m×n). dst must not alias a or b. Rows of the output are computed
+// in parallel across GOMAXPROCS workers when the problem is large enough;
+// each output element is still a sequentially-ordered reduction, so results
+// are bit-for-bit deterministic regardless of parallelism.
+func MatMul(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		matmulRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+}
+
+// matmulRows computes rows [lo, hi) of dst = a×b with an ikj loop order that
+// streams b row-wise for cache friendliness.
+func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		drow := dst[i*n : (i+1)*n]
+		for x := range drow {
+			drow[x] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulAT computes dst = aᵀ × b for a (k×m) and b (k×n), producing m×n.
+// Used for weight gradients: dW = Xᵀ·dY.
+func MatMulAT(dst, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAT inner dims %d vs %d", k, k2))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAT dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Data[i*n : (i+1)*n]
+			for x := range drow {
+				drow[x] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulBT computes dst = a × bᵀ for a (m×k) and b (n×k), producing m×n.
+// Used for input gradients: dX = dY·Wᵀ.
+func MatMulBT(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulBT inner dims %d vs %d", k, k2))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulBT dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}
+
+// parallelRows partitions [0, rows) across workers when work (a rough flop
+// count) exceeds the parallel threshold, otherwise runs inline.
+func parallelRows(rows, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || rows <= 1 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= rows {
+			break
+		}
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,110 @@
+package tensor
+
+import "fmt"
+
+// Transpose returns a new tensor holding the transpose of a 2-D tensor.
+func (t *Tensor) Transpose() *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs rank 2, got %v", t.Shape))
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j*r+i] = v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements (0 for an empty tensor).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// RowsView returns a view of rows [lo, hi) of a 2-D tensor, sharing data.
+func (t *Tensor) RowsView(lo, hi int) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: RowsView needs rank 2, got %v", t.Shape))
+	}
+	if lo < 0 || hi > t.Shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: RowsView [%d,%d) out of %d rows", lo, hi, t.Shape[0]))
+	}
+	c := t.Shape[1]
+	return &Tensor{Shape: []int{hi - lo, c}, Data: t.Data[lo*c : hi*c]}
+}
+
+// ColSums returns the per-column sums of a 2-D tensor.
+func (t *Tensor) ColSums() []float64 {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: ColSums needs rank 2, got %v", t.Shape))
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := make([]float64, c)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// RowSums returns the per-row sums of a 2-D tensor.
+func (t *Tensor) RowSums() []float64 {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: RowSums needs rank 2, got %v", t.Shape))
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := make([]float64, r)
+	for i := 0; i < r; i++ {
+		s := 0.0
+		for _, v := range t.Data[i*c : (i+1)*c] {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Apply replaces every element with fn(element).
+func (t *Tensor) Apply(fn func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = fn(v)
+	}
+}
+
+// Stack concatenates 2-D tensors with equal column counts along rows.
+func Stack(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: Stack of nothing")
+	}
+	cols := parts[0].Shape[1]
+	rows := 0
+	for _, p := range parts {
+		if p.Rank() != 2 || p.Shape[1] != cols {
+			panic(fmt.Sprintf("tensor: Stack shape mismatch %v", p.Shape))
+		}
+		rows += p.Shape[0]
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:], p.Data)
+		off += len(p.Data)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTranspose(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Transpose()
+	if y.Shape[0] != 3 || y.Shape[1] != 2 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	if y.At(0, 0) != 1 || y.At(2, 1) != 6 || y.At(1, 0) != 2 {
+		t.Fatalf("values %v", y.Data)
+	}
+	// Double transpose is identity.
+	z := y.Transpose()
+	for i := range x.Data {
+		if z.Data[i] != x.Data[i] {
+			t.Fatal("double transpose != identity")
+		}
+	}
+}
+
+func TestTransposePanicsOnRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2, 2).Transpose()
+}
+
+func TestSumMean(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if x.Sum() != 10 || x.Mean() != 2.5 {
+		t.Fatalf("Sum=%v Mean=%v", x.Sum(), x.Mean())
+	}
+	empty := &Tensor{Shape: []int{0}}
+	if empty.Mean() != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestRowsView(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	v := x.RowsView(1, 3)
+	if v.Shape[0] != 2 || v.At(0, 0) != 3 {
+		t.Fatalf("view %v %v", v.Shape, v.Data)
+	}
+	v.Set(0, 0, 99)
+	if x.At(1, 0) != 99 {
+		t.Fatal("view must share data")
+	}
+	for _, fn := range []func(){
+		func() { x.RowsView(-1, 2) },
+		func() { x.RowsView(0, 4) },
+		func() { x.RowsView(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestColRowSums(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	cs := x.ColSums()
+	if cs[0] != 5 || cs[1] != 7 || cs[2] != 9 {
+		t.Fatalf("ColSums %v", cs)
+	}
+	rs := x.RowSums()
+	if rs[0] != 6 || rs[1] != 15 {
+		t.Fatalf("RowSums %v", rs)
+	}
+}
+
+func TestApply(t *testing.T) {
+	x := FromSlice([]float64{1, 4, 9}, 3)
+	x.Apply(math.Sqrt)
+	if x.Data[0] != 1 || x.Data[1] != 2 || x.Data[2] != 3 {
+		t.Fatalf("Apply %v", x.Data)
+	}
+}
+
+func TestStack(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 1, 2)
+	b := FromSlice([]float64{3, 4, 5, 6}, 2, 2)
+	s := Stack(a, b)
+	if s.Shape[0] != 3 || s.Shape[1] != 2 {
+		t.Fatalf("shape %v", s.Shape)
+	}
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i, w := range want {
+		if s.Data[i] != w {
+			t.Fatalf("Stack %v", s.Data)
+		}
+	}
+	for _, fn := range []func(){
+		func() { Stack() },
+		func() { Stack(a, FromSlice([]float64{1, 2, 3}, 1, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchMatMul(b, 64) }
+func BenchmarkMatMul128(b *testing.B) { benchMatMul(b, 128) }
+func BenchmarkMatMul256(b *testing.B) { benchMatMul(b, 256) }
+
+func benchMatMul(b *testing.B, n int) {
+	rng := stats.NewRNG(1)
+	a := randomTensor(rng, n, n)
+	c := randomTensor(rng, n, n)
+	dst := New(n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, c)
+	}
+	b.SetBytes(int64(8 * n * n))
+}
+
+func BenchmarkMatMulAT128(b *testing.B) {
+	rng := stats.NewRNG(2)
+	a := randomTensor(rng, 128, 128)
+	c := randomTensor(rng, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulAT(dst, a, c)
+	}
+}
+
+func BenchmarkMatMulBT128(b *testing.B) {
+	rng := stats.NewRNG(3)
+	a := randomTensor(rng, 128, 128)
+	c := randomTensor(rng, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulBT(dst, a, c)
+	}
+}
