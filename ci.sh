@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's full verification gate.
+#
+# Runs, in order:
+#   1. go build        — everything compiles
+#   2. go vet          — stock vet findings
+#   3. repolint        — the project's own invariants (internal/lint):
+#                        rng-discipline, naked-goroutine, float-eq,
+#                        dropped-error, panic-message
+#   4. go test ./...   — tier-1 tests (includes the module-wide lint pass
+#                        and the GOMAXPROCS replay determinism test)
+#   5. go test -race   — race detector over the concurrency-bearing
+#                        packages (tensor matmul fan-out, core parallel
+#                        group training, simnet event loop)
+#
+# Future PRs inherit this gate: run ./ci.sh before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== repolint"
+go run ./cmd/repolint
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (tensor, core, simnet)"
+go test -race ./internal/tensor ./internal/core ./internal/simnet
+
+echo "ci.sh: all gates passed"

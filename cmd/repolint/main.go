@@ -1,0 +1,80 @@
+// Command repolint runs the repository's custom static-analysis suite
+// (internal/lint) over every package of the module and reports violations
+// with file:line:col positions. It exits non-zero when any violation is
+// found, so it can gate CI (see ci.sh).
+//
+// Usage:
+//
+//	repolint [-dir .] [-rules rule1,rule2] [-json] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory inside the module to lint (the whole module is loaded)")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a, err := lint.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Check(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repolint:", err)
+	os.Exit(1)
+}

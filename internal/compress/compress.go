@@ -146,10 +146,11 @@ type Quantized struct {
 // Decode rescales levels back to floats.
 func (q Quantized) Decode() []float64 {
 	out := make([]float64, q.Dim)
-	levels := float64(int32(1)<<(q.Bits-1)) - 1
-	if levels == 0 {
-		levels = 1
+	lv := int32(1)<<(q.Bits-1) - 1
+	if lv == 0 {
+		lv = 1
 	}
+	levels := float64(lv)
 	for i, l := range q.Levels {
 		out[i] = q.Scale * float64(l) / levels
 	}
@@ -172,13 +173,15 @@ func (u *Uniform) Compress(update []float64) Compressed {
 		}
 	}
 	out := Quantized{Dim: n, Scale: scale, Bits: u.Bits, Levels: make([]int32, n)}
+	//lint:ignore float-eq an all-zero update has exactly zero max magnitude; any nonzero scale quantizes fine
 	if scale == 0 {
 		return out
 	}
-	levels := float64(int32(1)<<(u.Bits-1)) - 1
-	if levels == 0 {
-		levels = 1
+	lv := int32(1)<<(u.Bits-1) - 1
+	if lv == 0 {
+		lv = 1
 	}
+	levels := float64(lv)
 	for i, v := range update {
 		x := v / scale * levels // in [-levels, levels]
 		lo := math.Floor(x)

@@ -33,9 +33,15 @@ func (c Checkpoint) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("core: save checkpoint: %w", err)
 	}
-	defer f.Close()
 	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		//lint:ignore dropped-error the encode failure is already being reported; close is best-effort cleanup
+		f.Close()
 		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	// A failed close can mean the kernel never flushed the snapshot; a
+	// checkpoint that may not be on disk is not a checkpoint.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close checkpoint: %w", err)
 	}
 	return nil
 }
@@ -46,6 +52,7 @@ func LoadCheckpoint(path string) (Checkpoint, error) {
 	if err != nil {
 		return Checkpoint{}, fmt.Errorf("core: load checkpoint: %w", err)
 	}
+	//lint:ignore dropped-error read-path close failures cannot corrupt the already-decoded checkpoint
 	defer f.Close()
 	var c Checkpoint
 	if err := gob.NewDecoder(f).Decode(&c); err != nil {

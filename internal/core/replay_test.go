@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// TestReplayBitIdenticalAcrossParallelism locks in the determinism contract
+// the sampling analysis depends on: the same seed must produce bit-for-bit
+// identical final weights whether training runs single-threaded or fanned
+// out across workers. tensor.MatMul documents that each output element is a
+// sequentially-ordered reduction regardless of GOMAXPROCS, and
+// core.parallelEach writes group results into indexed slots; this test is
+// what keeps those guarantees from regressing as more parallel code lands.
+func TestReplayBitIdenticalAcrossParallelism(t *testing.T) {
+	run := func(procs int) []float64 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		sys := testSystem(12, 0.5, 3)
+		cfg := testConfig()
+		cfg.GlobalRounds = 3
+		return Train(sys, cfg).Params
+	}
+
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("training produced no parameters")
+	}
+	for _, procs := range []int{1, 8} {
+		again := run(procs)
+		if len(again) != len(base) {
+			t.Fatalf("GOMAXPROCS=%d: parameter count %d, want %d", procs, len(again), len(base))
+		}
+		for i := range base {
+			if math.Float64bits(again[i]) != math.Float64bits(base[i]) {
+				t.Fatalf("GOMAXPROCS=%d: param %d differs: %x vs %x (%.17g vs %.17g)",
+					procs, i, math.Float64bits(again[i]), math.Float64bits(base[i]), again[i], base[i])
+			}
+		}
+	}
+}

@@ -184,7 +184,7 @@ func secaggOps(n int) int {
 		masked[i] = s.MaskedUpdate(i, make([]float64, 16))
 	}
 	if _, err := s.Aggregate(masked, nil); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("experiments: secagg aggregation in ops count: %v", err))
 	}
 	return s.Ops().MaskStreams
 }

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFixtures runs each analyzer over its intentionally-good and
+// intentionally-bad fixture packages under testdata/src and asserts exact
+// diagnostic positions against the fixtures' `// want "substring"`
+// annotations. A want comment sits on the offending line, or alone on the
+// following line when the offending line is itself a comment (malformed
+// directives).
+func TestGoldenFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{RNGDiscipline, "rngdiscipline/bad"},
+		{RNGDiscipline, "rngdiscipline/good"},
+		{RNGDiscipline, "rngdiscipline/internal/stats"},
+		{NakedGoroutine, "nakedgoroutine/bad"},
+		{NakedGoroutine, "nakedgoroutine/good"},
+		{FloatEq, "floateq/bad"},
+		{FloatEq, "floateq/good"},
+		{DroppedError, "droppederr/bad"},
+		{DroppedError, "droppederr/good"},
+		{PanicMessage, "panicmsg/bad"},
+		{PanicMessage, "panicmsg/good"},
+		{FloatEq, "suppress/bad"},
+	}
+	for _, c := range cases {
+		t.Run(c.dir+"/"+c.analyzer.Name, func(t *testing.T) {
+			runFixture(t, c.analyzer, c.dir)
+		})
+	}
+}
+
+var wantRe = regexp.MustCompile(`// want ("[^"]*"(?:\s+"[^"]*")*)`)
+var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+
+func runFixture(t *testing.T, a *Analyzer, rel string) {
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	pkg, err := LoadDir(dir, rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := Check([]*Package{pkg}, []*Analyzer{a})
+	wants := parseWants(t, dir)
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if strings.Contains(d.Message, w) {
+				wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s: expected diagnostic matching %q, got none", key, w)
+		}
+	}
+}
+
+// parseWants scans fixture files for want annotations and returns them
+// keyed by "file.go:line". A line that consists solely of a want comment
+// annotates the line above it.
+func parseWants(t *testing.T, dir string) map[string][]string {
+	wants := make(map[string][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			target := i + 1
+			if strings.HasPrefix(strings.TrimSpace(line), "// want") {
+				target = i // annotates the previous line
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), target)
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				wants[key] = append(wants[key], arg[1])
+			}
+		}
+	}
+	return wants
+}

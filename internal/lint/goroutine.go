@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedGoroutine requires every `go` statement to be part of a visible
+// join protocol: the spawned body must signal completion (WaitGroup.Done, a
+// channel send, or close) and the spawning function must join (WaitGroup.Wait,
+// a channel receive, range over a channel, or select). This keeps the
+// parallel aggregation paths (tensor.parallelRows, core.parallelEach and
+// whatever comes next) leak-free by construction. The check is a heuristic
+// over the enclosing function body; genuinely fire-and-forget goroutines
+// must carry a //lint:ignore naked-goroutine <reason> directive.
+var NakedGoroutine = &Analyzer{
+	Name: "naked-goroutine",
+	Doc:  "every go statement must signal completion and be joined by its spawner",
+	Run:  runNakedGoroutine,
+}
+
+func runNakedGoroutine(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFuncForGoroutines(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// checkFuncForGoroutines inspects one function body: it gathers the `go`
+// statements whose innermost enclosing function is this body (recursing
+// into nested function literals for their own checks) and verifies the
+// signal/join protocol for each.
+func checkFuncForGoroutines(pass *Pass, body *ast.BlockStmt) {
+	var goStmts []*ast.GoStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			goStmts = append(goStmts, n)
+			// The spawned body belongs to the goroutine, not this
+			// function; it gets its own recursive check.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkFuncForGoroutines(pass, lit.Body)
+			}
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.FuncLit:
+			checkFuncForGoroutines(pass, n.Body)
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if len(goStmts) == 0 {
+		return
+	}
+
+	joins := hasJoin(pass, body)
+	for _, g := range goStmts {
+		signals := true
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			signals = hasSignal(pass, lit.Body)
+		}
+		switch {
+		case !signals && !joins:
+			pass.Reportf(g.Pos(), "goroutine neither signals completion (WaitGroup.Done, channel send, close) nor is joined by its spawner (WaitGroup.Wait, channel receive, select); it can leak")
+		case !signals:
+			pass.Reportf(g.Pos(), "goroutine body never signals completion (WaitGroup.Done, channel send, or close); the spawner's join cannot cover it")
+		case !joins:
+			pass.Reportf(g.Pos(), "function spawns a goroutine but never joins (no WaitGroup.Wait, channel receive, range over channel, or select); the goroutine can outlive its spawner")
+		}
+	}
+}
+
+// hasJoin reports whether the function body contains join evidence on the
+// spawning side. Spawned goroutine bodies are excluded: a receive loop
+// inside the worker itself does not join the worker.
+func hasJoin(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if hasJoinExpr(pass, arg) {
+					found = true
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupCall(pass, n, "Wait") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func hasJoinExpr(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasSignal reports whether a spawned function-literal body contains
+// completion-signal evidence: WaitGroup.Done (possibly deferred), a channel
+// send, or close.
+func hasSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isWaitGroupCall(pass, n, "Done") {
+				found = true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call is method on a sync.WaitGroup value
+// or pointer.
+func isWaitGroupCall(pass *Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,139 @@
+// Package lint implements repolint, the repository's own static-analysis
+// pass. It is built entirely on the standard library (go/ast, go/parser,
+// go/types) so the module stays dependency-free, and it encodes project
+// invariants that ordinary go vet does not know about:
+//
+//   - rng-discipline: all stochasticity flows through the seeded
+//     repro/internal/stats.RNG, so experiment runs are replayable and the
+//     paper's sampling-variance results are the ones actually measured.
+//   - naked-goroutine: every spawned goroutine signals completion and is
+//     joined by its spawner, so parallel aggregation code cannot leak.
+//   - float-eq: no ==/!= on floating-point operands outside test files;
+//     numeric comparisons go through the epsilon helpers in internal/stats.
+//   - dropped-error: no silently discarded error returns in non-test code.
+//   - panic-message: panics in library packages carry a "pkg: " prefix.
+//
+// Legitimate exceptions are declared in-source with an auditable
+//
+//	//lint:ignore <rule> <reason>
+//
+// comment on the offending line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one reported violation. File is relative to the module root
+// when the package was loaded with LoadModule.
+type Diagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Analyzer is one lint rule: a name (used in diagnostics and in
+// //lint:ignore directives), a short doc string, and a Run function that
+// inspects a single package and reports violations through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RNGDiscipline,
+		NakedGoroutine,
+		FloatEq,
+		DroppedError,
+		PanicMessage,
+	}
+}
+
+// ByName resolves analyzer names (comma-separated lists are handled by the
+// caller) to analyzers. Unknown names return an error listing valid rules.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	valid := make([]string, 0, len(All()))
+	for _, a := range All() {
+		valid = append(valid, a.Name)
+	}
+	return nil, fmt.Errorf("lint: unknown rule %q (valid: %v)", name, valid)
+}
+
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// TypeOf returns the type of expr in the checked package, or nil for
+// expressions outside the type-checked file set (e.g. in test files, which
+// are parsed but not type-checked).
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(expr)
+}
+
+// Reportf records a violation at pos unless an in-scope //lint:ignore
+// directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		File:    p.Pkg.relFile(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Check runs the given analyzers over the given packages and returns all
+// diagnostics sorted by file, line, column, and rule. Malformed
+// //lint:ignore directives are reported as diagnostics too (rule
+// "lint-directive"), so suppressions stay auditable.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.directiveDiags...)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the tier-1 gate: it loads every package of the
+// module and runs the full analyzer suite. Any violation anywhere in the
+// tree fails `go test ./...`, so lint regressions cannot land.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walker is missing code", len(pkgs))
+	}
+	for _, d := range Check(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		got, err := ByName(a.Name)
+		if err != nil || got != a {
+			t.Errorf("ByName(%q) = %v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := ByName("no-such-rule"); err == nil {
+		t.Error("ByName should reject unknown rules")
+	}
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded and (for its non-test files) type-checked package.
+type Package struct {
+	Path string // import path, e.g. "repro/internal/core"
+	Name string // package name from the package clause
+	Dir  string // absolute directory
+	Root string // module root for relative file paths ("" = report absolute)
+
+	Fset *token.FileSet
+	// Files are the non-test files, fully type-checked.
+	Files []*ast.File
+	// TestFiles are _test.go files (internal and external packages alike).
+	// They are parsed with comments but not type-checked, so only purely
+	// syntactic rules apply to them.
+	TestFiles []*ast.File
+
+	Types *types.Package
+	Info  *types.Info
+
+	ignores        map[string]map[int][]string // filename -> line -> rules
+	directiveDiags []Diagnostic
+}
+
+// AllFiles returns the type-checked files followed by the parse-only test
+// files, for syntactic rules that apply to both.
+func (p *Package) AllFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files)+len(p.TestFiles))
+	out = append(out, p.Files...)
+	out = append(out, p.TestFiles...)
+	return out
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+func (p *Package) relFile(filename string) string {
+	if p.Root == "" {
+		return filename
+	}
+	if rel, err := filepath.Rel(p.Root, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore(?:\s+(\S+))?(?:\s+(\S.*))?$`)
+
+// collectDirectives scans a parsed file for //lint:ignore comments. A
+// well-formed directive names a rule and gives a non-empty reason; anything
+// else is itself reported so suppressions cannot silently rot.
+func (p *Package) collectDirectives(f *ast.File) {
+	if p.ignores == nil {
+		p.ignores = make(map[string]map[int][]string)
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//lint:ignore") {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil || m[1] == "" || m[2] == "" {
+				p.directiveDiags = append(p.directiveDiags, Diagnostic{
+					Rule:    "lint-directive",
+					File:    p.relFile(pos.Filename),
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Message: "malformed directive: want //lint:ignore <rule> <reason>",
+				})
+				continue
+			}
+			byLine := p.ignores[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]string)
+				p.ignores[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], m[1])
+		}
+	}
+}
+
+// suppressed reports whether a directive for rule covers the given position:
+// the directive must sit on the same line or the line directly above.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	byLine := p.ignores[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range byLine[line] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindModuleRoot walks upward from dir until it finds a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	return string(m[1]), nil
+}
+
+// loader type-checks module packages on demand. Stdlib imports are resolved
+// by the source importer; module-internal imports recurse into the loader
+// itself, so packages are checked in dependency order with shared results.
+type loader struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool
+}
+
+func newLoader(root, module string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		module:  module,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over both module and stdlib packages.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+		pkg, err := l.load(filepath.Join(l.root, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks the package in dir. Non-test files form the
+// typed unit; _test.go files are parsed alongside for syntactic rules.
+func (l *loader) load(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Root: l.root, Fset: l.fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.collectDirectives(f)
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+			pkg.Name = f.Name.Name
+		}
+	}
+	if len(pkg.Files) > 0 {
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: l,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		//lint:ignore dropped-error type errors are accumulated via conf.Error and reported below
+		pkg.Types, _ = conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: type-check %s: %v", importPath, typeErrs[0])
+		}
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// goFilesIn lists the .go files of dir in sorted order.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadModule loads every package of the module rooted at root, skipping
+// testdata, hidden, and underscore-prefixed directories. Packages are
+// returned sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	l := newLoader(root, module)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := module
+		if rel != "." {
+			importPath = module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory as a standalone package under the given
+// synthetic import path. Used by the golden-file fixture tests; fixture
+// packages may import only the standard library.
+func LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(abs, importPath)
+	return l.load(abs, importPath)
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// rngPackages are the imports that bypass the seeded RNG discipline.
+var rngPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// RNGDiscipline forbids direct math/rand and crypto/rand imports outside
+// internal/stats. Group sampling is only unbiased — and the Eq. (35)
+// stabilized normalization only reproducible — if every random draw comes
+// from the seeded stats.RNG streams, so experiment runs replay bit-for-bit.
+// The rule is purely syntactic and therefore also covers _test.go files.
+var RNGDiscipline = &Analyzer{
+	Name: "rng-discipline",
+	Doc:  "forbid math/rand and crypto/rand imports outside internal/stats",
+	Run: func(pass *Pass) {
+		if strings.HasSuffix(pass.Pkg.Path, "internal/stats") {
+			return
+		}
+		for _, f := range pass.Pkg.AllFiles() {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !rngPackages[path] {
+					continue
+				}
+				pass.Reportf(imp.Pos(),
+					"import %q outside internal/stats: draw randomness from the seeded stats.RNG so runs stay replayable", path)
+			}
+		}
+	},
+}

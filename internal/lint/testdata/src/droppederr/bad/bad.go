@@ -1,0 +1,34 @@
+// Package bad discards errors silently.
+package bad
+
+import (
+	"os"
+	"strconv"
+)
+
+// Cleanup ignores the removal result entirely.
+func Cleanup(path string) {
+	os.Remove(path) // want "never checked"
+}
+
+// BlankSingle discards through the blank identifier.
+func BlankSingle(path string) {
+	_ = os.Remove(path) // want "discarded with _"
+}
+
+// BlankTuple drops the error half of a tuple.
+func BlankTuple(s string) int {
+	n, _ := strconv.Atoi(s) // want "discarded with _"
+	return n
+}
+
+// DeferredClose leaks the close error of a written file.
+func DeferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred call discards"
+	_, err = f.WriteString("data")
+	return err
+}

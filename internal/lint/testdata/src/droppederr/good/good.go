@@ -1,0 +1,47 @@
+// Package good handles, returns, allowlists, or audits every error.
+package good
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Checked propagates the error.
+func Checked(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("good: remove: %w", err)
+	}
+	return nil
+}
+
+// Printing to stdout/stderr is allowlisted: the failure is unactionable.
+func Printing(msg string) {
+	fmt.Println(msg)
+	fmt.Fprintf(os.Stderr, "good: %s\n", msg)
+}
+
+// InMemory writers are documented to never fail.
+func InMemory(parts []string) string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	for _, p := range parts {
+		b.WriteString(p)
+		fmt.Fprintf(&buf, "%s,", p)
+	}
+	return b.String() + buf.String()
+}
+
+// Audited declares why the read-path close error is ignorable.
+func Audited(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore dropped-error read-path close failures cannot corrupt already-read data
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

@@ -1,0 +1,19 @@
+// Package bad compares floats exactly.
+package bad
+
+// SameLoss compares two accumulated metrics bit-for-bit.
+func SameLoss(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Nonzero tests a float32 against a literal.
+func Nonzero(x float32) bool {
+	return x != 0 // want "floating-point != comparison"
+}
+
+const target = 0.3
+
+// Converged compares against a named constant; 0.1+0.2 != 0.3.
+func Converged(loss float64) bool {
+	return loss == target // want "floating-point == comparison"
+}

@@ -1,0 +1,33 @@
+// Package good compares floats with tolerances, or declares exact
+// comparisons explicitly.
+package good
+
+import "math"
+
+// SameLoss uses an epsilon, the way stats.ApproxEqual does.
+func SameLoss(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// CountMatches compares integers; not a float rule concern.
+func CountMatches(a, b int) bool {
+	return a == b
+}
+
+// SkipZero declares its sparsity fast path.
+func SkipZero(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		//lint:ignore float-eq sparsity fast path over exact zeros
+		if x == 0 {
+			continue
+		}
+		sum += x
+	}
+	return sum
+}
+
+// Ordering comparisons are fine.
+func Better(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,12 @@
+package good
+
+import "testing"
+
+// Test files may compare floats exactly: bit-for-bit determinism tests
+// depend on it.
+func TestExactCompareAllowedInTests(t *testing.T) {
+	a, b := 0.5, 0.5
+	if a != b {
+		t.Fatal("identical literals must be bit-identical")
+	}
+}

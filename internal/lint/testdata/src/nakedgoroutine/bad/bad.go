@@ -1,0 +1,30 @@
+// Package bad spawns goroutines that violate the signal/join protocol.
+package bad
+
+import "sync"
+
+// Leak fires and forgets: no signal, no join.
+func Leak() {
+	go func() { // want "neither signals completion"
+		println("orphan")
+	}()
+}
+
+// NoJoin signals through the WaitGroup but the spawner never waits.
+func NoJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "never joins"
+		defer wg.Done()
+		println("work")
+	}()
+}
+
+// NoSignal joins a channel the goroutine never touches.
+func NoSignal() {
+	done := make(chan struct{})
+	go func() { // want "never signals completion"
+		println("work")
+	}()
+	<-done
+}

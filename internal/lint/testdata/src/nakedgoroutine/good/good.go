@@ -1,0 +1,72 @@
+// Package good shows the accepted goroutine join protocols.
+package good
+
+import "sync"
+
+// WaitGrouped pairs Done with Wait.
+func WaitGrouped(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			println("work")
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelSend pairs a send with a receive.
+func ChannelSend() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// Closer pairs close with a receive.
+func Closer() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		println("work")
+	}()
+	<-done
+}
+
+// Named spawns a named function (body unknown to the rule) and ranges over
+// the channel it feeds.
+func Named() int {
+	ch := make(chan int)
+	go produce(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func produce(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+// Selected joins through a select.
+func Selected() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	select {
+	case <-done:
+	}
+}
+
+// Daemon is a deliberate fire-and-forget, declared as such.
+func Daemon() {
+	//lint:ignore naked-goroutine metrics flusher runs for the process lifetime by design
+	go func() {
+		println("background")
+	}()
+}

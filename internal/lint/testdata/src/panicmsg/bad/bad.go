@@ -1,0 +1,33 @@
+// Package bad panics without the repository's "pkg: " message convention.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NoPrefix gives the operator no subsystem to blame.
+func NoPrefix() {
+	panic("something went wrong") // want "pkg"
+}
+
+// RawError re-panics a bare error value.
+func RawError() {
+	err := errors.New("disk full")
+	panic(err) // want "pkg"
+}
+
+// FormatNoPrefix formats, but the format string has no tag.
+func FormatNoPrefix(n int) {
+	panic(fmt.Sprintf("bad value %d", n)) // want "pkg"
+}
+
+// NotAString panics a number.
+func NotAString() {
+	panic(42) // want "pkg"
+}
+
+// UpperPrefix uses an exported-style tag; the convention is lowercase.
+func UpperPrefix() {
+	panic("Bad: value") // want "pkg"
+}

@@ -1,0 +1,32 @@
+// Package good panics with the "pkg: " convention in every shape the rule
+// understands.
+package good
+
+import "fmt"
+
+const prefix = "good: named constant"
+
+// Literal uses a plain prefixed string.
+func Literal() {
+	panic("good: literal message")
+}
+
+// Formatted carries the prefix in the format string.
+func Formatted(n int) {
+	panic(fmt.Sprintf("good: bad value %d", n))
+}
+
+// Concatenated keeps the prefix as the leftmost operand.
+func Concatenated(detail string) {
+	panic("good: " + detail)
+}
+
+// NamedConst panics a prefixed named constant.
+func NamedConst() {
+	panic(prefix)
+}
+
+// WrappedError formats an error with the prefix via fmt.Errorf.
+func WrappedError(err error) {
+	panic(fmt.Errorf("good: wrapped: %w", err))
+}

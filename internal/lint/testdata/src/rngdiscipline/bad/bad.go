@@ -1,0 +1,13 @@
+// Package bad imports raw RNG packages outside internal/stats.
+package bad
+
+import (
+	"math/rand"       // want "outside internal/stats"
+	v2 "math/rand/v2" // want "outside internal/stats"
+)
+
+// X draws from the global, unseeded source: not replayable.
+var X = rand.Int()
+
+// Y does the same through v2.
+var Y = v2.Int()

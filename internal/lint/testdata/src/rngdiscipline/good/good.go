@@ -1,0 +1,11 @@
+// Package good draws no randomness of its own; a real package would take a
+// *stats.RNG argument and let the caller own the seed.
+package good
+
+// Mix is a deterministic hash-style mixer, not a random draw.
+func Mix(seed uint64) uint64 {
+	seed ^= seed >> 33
+	seed *= 0xff51afd7ed558ccd
+	seed ^= seed >> 33
+	return seed
+}

@@ -1,0 +1,11 @@
+// Package stats stands in for repro/internal/stats: the one package that is
+// allowed to touch math/rand directly, because it wraps it behind seeded
+// streams. No diagnostics expected.
+package stats
+
+import "math/rand/v2"
+
+// NewSource returns a seeded PCG source.
+func NewSource(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed))
+}

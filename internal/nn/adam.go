@@ -42,6 +42,7 @@ func (o *Adam) Step(model *Sequential) {
 		m, v := o.m[i], o.v[i]
 		for j := range p.Data {
 			gj := g.Data[j]
+			//lint:ignore float-eq WeightDecay 0 is the exact sentinel for "decay disabled"
 			if o.WeightDecay != 0 {
 				gj += o.WeightDecay * p.Data[j]
 			}

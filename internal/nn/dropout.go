@@ -25,6 +25,7 @@ func NewDropout(rate float64, seed uint64) *Dropout {
 
 // Forward applies the mask in training mode, identity otherwise.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	//lint:ignore float-eq Rate 0 is the exact sentinel for "dropout disabled"
 	if !train || d.Rate == 0 {
 		// Mark the whole batch as kept so a Backward after an eval-mode
 		// Forward behaves as the identity.

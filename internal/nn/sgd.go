@@ -28,6 +28,7 @@ func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
 func (o *SGD) Step(m *Sequential) {
 	params := m.Params()
 	grads := m.Grads()
+	//lint:ignore float-eq Momentum 0 is the exact sentinel for "momentum disabled"
 	if o.Momentum != 0 && o.vel == nil {
 		o.vel = make([]*tensor.Tensor, len(params))
 		for i, p := range params {
@@ -36,8 +37,10 @@ func (o *SGD) Step(m *Sequential) {
 	}
 	for i, p := range params {
 		g := grads[i]
+		//lint:ignore float-eq WeightDecay 0 is the exact sentinel for "decay disabled"
 		if o.WeightDecay != 0 {
 			// g += wd * p, folded into the update below without mutating g.
+			//lint:ignore float-eq Momentum 0 is the exact sentinel for "momentum disabled"
 			if o.Momentum != 0 {
 				v := o.vel[i]
 				for j := range p.Data {
@@ -52,6 +55,7 @@ func (o *SGD) Step(m *Sequential) {
 			}
 			continue
 		}
+		//lint:ignore float-eq Momentum 0 is the exact sentinel for "momentum disabled"
 		if o.Momentum != 0 {
 			v := o.vel[i]
 			for j := range p.Data {
@@ -74,6 +78,7 @@ func ClipGradNorm(m *Sequential, maxNorm float64) float64 {
 		total += n * n
 	}
 	norm := math.Sqrt(total)
+	//lint:ignore float-eq a gradient norm of exactly zero cannot be rescaled; ordering compares handle the rest
 	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
 		return norm
 	}

@@ -125,6 +125,7 @@ func Sample(rng *stats.RNG, p []float64, s int) []int {
 		if total <= 0 {
 			// All remaining mass is zero: fill uniformly from the unchosen.
 			for i := range w {
+				//lint:ignore float-eq already-drawn groups are zeroed with an exact 0 sentinel
 				if w[i] == 0 && !contains(out, i) {
 					w[i] = 1
 				}

@@ -107,6 +107,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore float-eq exact timestamp ties must fall through to the FIFO seq for determinism
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

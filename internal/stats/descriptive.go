@@ -38,7 +38,9 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 func CoV(xs []float64) float64 {
 	m := Mean(xs)
 	sd := StdDev(xs)
+	//lint:ignore float-eq the mean of nonnegative counts is exactly zero iff every count is zero
 	if m == 0 {
+		//lint:ignore float-eq a zero-mean slice has exactly zero stddev iff it is all zeros
 		if sd == 0 {
 			return 0
 		}
@@ -159,6 +161,7 @@ func JainIndex(xs []float64) float64 {
 		sum += x
 		ss += x * x
 	}
+	//lint:ignore float-eq a sum of squares is exactly zero iff every term is zero
 	if ss == 0 {
 		return 1 // nobody participated: trivially equal
 	}

@@ -104,6 +104,7 @@ func CosineSimilarity(a, b []float64) float64 {
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
+	//lint:ignore float-eq a sum of squares is exactly zero iff the vector is all zeros
 	if na == 0 || nb == 0 {
 		return 0
 	}

@@ -1,0 +1,38 @@
+package stats
+
+import "math"
+
+// DefaultTol is the tolerance the repository uses for "are these two
+// float64 metrics the same" questions (losses, accuracies, probabilities)
+// when the caller has no sharper bound in mind.
+const DefaultTol = 1e-9
+
+// ApproxEqual reports whether a and b are equal within tol, using an
+// absolute comparison near zero and a relative one elsewhere, so it behaves
+// sensibly for both probabilities (≈1e-2) and accumulated losses (≈1e3).
+// NaN is never approximately equal to anything, and equal infinities match.
+// This is the helper the float-eq lint rule points at: accumulated metrics
+// differ in the last ulp across algebraically equivalent reductions, so
+// exact ==/!= on them is almost always a bug.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b //lint:ignore float-eq infinities of the same sign compare exactly
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// NearZero reports whether x lies within tol of zero. It is the epsilon
+// form of "did this weight/mass/residual vanish" checks; exact `x == 0`
+// comparisons stay reserved for sentinel semantics and need a
+// //lint:ignore float-eq annotation.
+func NearZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}

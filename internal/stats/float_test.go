@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+		{0, 1e-6, 1e-9, false},
+		// Relative mode: large magnitudes tolerate proportionally more.
+		{1e12, 1e12 + 1, 1e-9, true},
+		{1e12, 1e12 * (1 + 1e-6), 1e-9, false},
+		{-3.5, -3.5, 1e-9, true},
+		{-3.5, 3.5, 1e-9, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1e300, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 0, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestNearZero(t *testing.T) {
+	if !NearZero(0, 1e-9) || !NearZero(-1e-12, 1e-9) {
+		t.Error("exact and tiny values should be near zero")
+	}
+	if NearZero(1e-3, 1e-9) || NearZero(math.Inf(1), 1e-9) {
+		t.Error("large values should not be near zero")
+	}
+	if NearZero(math.NaN(), 1e-9) {
+		t.Error("NaN is not near zero")
+	}
+}

@@ -67,6 +67,7 @@ func (r *RNG) Gamma(shape float64) float64 {
 	if shape < 1 {
 		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
 		u := r.Float64()
+		//lint:ignore float-eq resample exact zeros so math.Pow(u, 1/shape) stays finite
 		for u == 0 {
 			u = r.Float64()
 		}
@@ -105,6 +106,7 @@ func (r *RNG) Dirichlet(alpha float64, dim int) []float64 {
 		out[i] = g
 		sum += g
 	}
+	//lint:ignore float-eq gamma draws underflow to exactly zero; any positive mass normalizes fine
 	if sum == 0 {
 		// Extremely small alpha can underflow every component; fall back to
 		// a one-hot vector, which is the limiting distribution.

@@ -40,6 +40,7 @@ func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
 		}
 		arow := a[i*k : (i+1)*k]
 		for p, av := range arow {
+			//lint:ignore float-eq sparsity fast path: skipping exact zeros changes no bits of the result
 			if av == 0 {
 				continue
 			}
@@ -70,6 +71,7 @@ func MatMulAT(dst, a, b *Tensor) {
 			}
 			for p := 0; p < k; p++ {
 				av := a.Data[p*m+i]
+				//lint:ignore float-eq sparsity fast path: skipping exact zeros changes no bits of the result
 				if av == 0 {
 					continue
 				}
