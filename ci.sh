@@ -11,7 +11,13 @@
 #                        and the GOMAXPROCS replay determinism test)
 #   5. go test -race   — race detector over the concurrency-bearing
 #                        packages (tensor matmul fan-out, core parallel
-#                        group training, simnet event loop)
+#                        group training, simnet event loop, wire codec,
+#                        fednode cloud/edge/client servers)
+#   6. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
+#                        (2 edges × 12 clients × 2 rounds), which also
+#                        cross-checks accuracy against the in-process
+#                        trainer and transport bytes against the codec's
+#                        accounting
 #
 # Future PRs inherit this gate: run ./ci.sh before pushing.
 set -euo pipefail
@@ -29,7 +35,10 @@ go run ./cmd/repolint
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (tensor, core, simnet)"
-go test -race ./internal/tensor ./internal/core ./internal/simnet
+echo "== go test -race (tensor, core, simnet, wire, fednode)"
+go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode
+
+echo "== felnode loopback smoke (TCP on 127.0.0.1)"
+timeout 120 go run ./cmd/felnode -role loopback -clients 12 -edges 2 -rounds 2
 
 echo "ci.sh: all gates passed"

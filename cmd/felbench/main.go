@@ -19,6 +19,17 @@ import (
 	"repro/internal/experiments"
 )
 
+// idList renders the experiment id list, shared by -list and the
+// unknown-id error path so both always show the same valid set.
+func idList() string {
+	var b strings.Builder
+	b.WriteString("experiments:\n")
+	for _, id := range experiments.IDs() {
+		b.WriteString("  " + id + "\n")
+	}
+	return b.String()
+}
+
 func main() {
 	var (
 		exp   = flag.String("exp", "", "experiment id (see -list), comma list, or 'all'")
@@ -30,10 +41,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("experiments:")
-		for _, id := range experiments.IDs() {
-			fmt.Println("  " + id)
-		}
+		fmt.Print(idList())
 		return
 	}
 	if *exp == "" {
@@ -53,7 +61,8 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := reg[id]; !ok {
-				fmt.Fprintf(os.Stderr, "felbench: unknown experiment %q (try -list)\n", id)
+				fmt.Fprintf(os.Stderr, "felbench: unknown experiment %q\n", id)
+				fmt.Fprint(os.Stderr, idList())
 				os.Exit(2)
 			}
 			ids = append(ids, id)

@@ -1,0 +1,264 @@
+// Command felnode runs Group-FEL as a real networked federation over TCP:
+// a cloud coordinator, edge servers (each hosting its clients), and the
+// wire protocol of internal/wire between them.
+//
+// Every process builds the same synthetic federation from the shared flags
+// and seed, so only model parameters, masked updates, and recovery shares
+// cross the wire.
+//
+// Usage:
+//
+//	felnode -role loopback                     # whole federation in-process over 127.0.0.1
+//	felnode -role loopback -dropclient 3       # inject a mid-round disconnect
+//
+//	felnode -role cloud -listen :9000
+//	felnode -role edge -edge 0 -cloud host:9000 -listen :9100
+//	felnode -role edge -edge 1 -cloud host:9000 -listen :9101
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/fednode"
+	"repro/internal/grouping"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "loopback", "cloud, edge, or loopback")
+		listen  = flag.String("listen", "127.0.0.1:0", "listen address (cloud: for edges; edge: for its clients)")
+		cloud   = flag.String("cloud", "127.0.0.1:9000", "cloud address an edge dials")
+		edgeID  = flag.Int("edge", 0, "edge id (role=edge)")
+		clients = flag.Int("clients", 24, "total clients in the federation")
+		edges   = flag.Int("edges", 2, "edge servers in the federation")
+		rounds  = flag.Int("rounds", 3, "global rounds T")
+		krounds = flag.Int("krounds", 2, "group rounds K")
+		epochs  = flag.Int("epochs", 1, "local epochs E")
+		batch   = flag.Int("batch", 16, "local SGD batch size")
+		lr      = flag.Float64("lr", 0.05, "local SGD learning rate")
+		sample  = flag.Int("sample", 2, "groups sampled per round S")
+		seed    = flag.Uint64("seed", 42, "shared seed: every process derives the same federation from it")
+		dropc   = flag.Int("dropclient", -1, "inject a disconnect: this client vanishes mid-round in round 0")
+		verbose = flag.Bool("v", false, "trace protocol progress")
+	)
+	flag.Parse()
+
+	sys := buildSystem(*clients, *edges, *seed)
+	cfg := fednode.JobConfig{
+		GlobalRounds: *rounds, GroupRounds: *krounds, LocalEpochs: *epochs,
+		BatchSize: *batch, LR: *lr, SampleGroups: *sample,
+		Grouping: grouping.CoVGrouping{Config: grouping.Config{MinGS: 3, MaxCoV: 0.5, MergeLeftover: true}},
+		Sampling: sampling.ESRCoV,
+		Weights:  sampling.Biased,
+		Seed:     *seed,
+	}
+	if *dropc >= 0 {
+		cfg.ForceDrop = &fednode.ForcedDrop{Client: *dropc, Round: 0, GroupRound: 0}
+		if err := pinDropSelection(sys, &cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "felnode:", err)
+			os.Exit(1)
+		}
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "felnode: "+format+"\n", args...)
+		}
+	}
+
+	var err error
+	switch *role {
+	case "loopback":
+		err = runLoopback(sys, cfg, *dropc >= 0)
+	case "cloud":
+		err = runCloud(sys, cfg, *listen)
+	case "edge":
+		err = runEdge(sys, cfg, *edgeID, *listen, *cloud)
+	default:
+		err = fmt.Errorf("unknown role %q (want cloud, edge, or loopback)", *role)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "felnode:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSystem derives the shared synthetic federation: every process calls
+// this with identical flags, so cloud, edges, and clients agree on data,
+// partition, and model without exchanging any of it.
+func buildSystem(numClients, numEdges int, seed uint64) *core.System {
+	gen := data.FlatConfig(4, 10, seed)
+	gen.Noise = 0.8
+	return core.NewSystem(core.SystemConfig{
+		Generator: gen,
+		Partition: data.PartitionConfig{
+			NumClients: numClients, Alpha: 0.5,
+			MinSamples: 10, MaxSamples: 40, MeanSamples: 25, StdSamples: 8,
+			Seed: seed + 1,
+		},
+		NumEdges: numEdges,
+		TestSize: 400,
+		NewModel: func(s uint64) *nn.Sequential {
+			return nn.NewMLP(10, []int{16}, 4, s)
+		},
+		ModelSeed: 7,
+	})
+}
+
+// pinDropSelection pins group formation (the same derivation the cloud
+// would use) and selects every group each round, so an injected disconnect
+// is deterministically in play and the recovery path demonstrably runs.
+// Every process derives the same pin from the shared flags.
+func pinDropSelection(sys *core.System, cfg *fednode.JobConfig) error {
+	groups := grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, stats.NewRNG(cfg.Seed).Split(1))
+	var target *grouping.Group
+	for _, g := range groups {
+		for _, c := range g.Clients {
+			if c.ID == cfg.ForceDrop.Client {
+				target = g
+			}
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("dropclient %d is not a client of this federation", cfg.ForceDrop.Client)
+	}
+	if target.Size() < 3 {
+		return fmt.Errorf("dropclient %d is in a group of %d: dropping it would break the Shamir threshold; pick a client in a larger group",
+			cfg.ForceDrop.Client, target.Size())
+	}
+	sel := make([]int, len(groups))
+	for i := range groups {
+		sel[i] = i
+	}
+	cfg.Groups = groups
+	cfg.FixedSelection = make([][]int, cfg.GlobalRounds)
+	for t := range cfg.FixedSelection {
+		cfg.FixedSelection[t] = sel
+	}
+	return nil
+}
+
+// runLoopback runs the full federation over real localhost TCP sockets and
+// cross-checks the result against the in-process trainer: same seed, same
+// config, so the final accuracies must agree within tolerance and — on a
+// clean run — the transport byte count must equal the codec's accounting.
+func runLoopback(sys *core.System, cfg fednode.JobConfig, injected bool) error {
+	rep, err := fednode.RunJob(fednode.TCPNetwork{}, sys, cfg, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loopback job: %d edges, %d clients, T=%d K=%d E=%d over 127.0.0.1\n",
+		len(sys.Edges), len(sys.Clients), cfg.GlobalRounds, cfg.GroupRounds, cfg.LocalEpochs)
+	for _, r := range rep.Rounds {
+		fmt.Printf("  round %d: acc=%.4f loss=%.4f groups=%d dropouts=%d recoveries=%d bytes=%d\n",
+			r.Round, r.Accuracy, r.Loss, r.Selected, r.Dropouts, r.Recoveries, r.WireBytes)
+	}
+	fmt.Printf("final: acc=%.4f loss=%.4f wall=%s frames=%d wire=%dB\n",
+		rep.FinalAccuracy, rep.FinalLoss, rep.WallClock.Round(0), rep.Frames, rep.WireWritten)
+
+	if injected {
+		fmt.Printf("fault injection: %d dropouts, %d recovered group rounds\n", rep.Dropouts, rep.Recoveries)
+		if rep.Recoveries == 0 {
+			return fmt.Errorf("injected disconnect was never recovered")
+		}
+		// Partial writes on a torn connection can leave unaccounted bytes;
+		// the byte cross-check only holds on clean runs.
+		return nil
+	}
+	if rep.WireWritten != rep.AccountedBytes {
+		return fmt.Errorf("byte accounting mismatch: transport wrote %d, codec accounted %d",
+			rep.WireWritten, rep.AccountedBytes)
+	}
+	fmt.Printf("byte cross-check: transport bytes == codec-accounted bytes (%d)\n", rep.WireWritten)
+
+	res := core.Train(sys, core.Config{
+		GlobalRounds: cfg.GlobalRounds, GroupRounds: cfg.GroupRounds, LocalEpochs: cfg.LocalEpochs,
+		BatchSize: cfg.BatchSize, LR: cfg.LR, SampleGroups: cfg.SampleGroups,
+		Grouping: cfg.Grouping, Sampling: cfg.Sampling, Weights: cfg.Weights,
+		Seed:        cfg.Seed,
+		CostProfile: cost.CIFARProfile(), CostOps: cost.DefaultOps(),
+	})
+	gap := math.Abs(rep.FinalAccuracy - res.FinalAccuracy)
+	fmt.Printf("in-process Train on same seed: acc=%.4f (gap %.4f)\n", res.FinalAccuracy, gap)
+	if gap > 0.05 {
+		return fmt.Errorf("networked accuracy %.4f diverges from in-process %.4f by %.4f (> 0.05)",
+			rep.FinalAccuracy, res.FinalAccuracy, gap)
+	}
+	return nil
+}
+
+// runCloud serves the coordinator on listen and prints the report.
+func runCloud(sys *core.System, cfg fednode.JobConfig, listen string) error {
+	ln, err := fednode.TCPNetwork{}.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//lint:ignore dropped-error shutdown-path close of a drained listener
+		ln.Close()
+	}()
+	fmt.Printf("cloud: listening on %s for %d edges\n", ln.Addr(), len(sys.Edges))
+	rep, err := fednode.NewCloud(sys, cfg, nil).Run(ln)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Rounds {
+		fmt.Printf("  round %d: acc=%.4f dropouts=%d recoveries=%d\n", r.Round, r.Accuracy, r.Dropouts, r.Recoveries)
+	}
+	fmt.Printf("final: acc=%.4f loss=%.4f wall=%s\n", rep.FinalAccuracy, rep.FinalLoss, rep.WallClock.Round(0))
+	return nil
+}
+
+// runEdge serves edge id on listen, dialing the cloud — and hosts the
+// edge's clients as goroutines dialing back over real TCP, so one process
+// per edge covers its whole subtree.
+func runEdge(sys *core.System, cfg fednode.JobConfig, id int, listen, cloudAddr string) error {
+	if id < 0 || id >= len(sys.Edges) {
+		return fmt.Errorf("edge id %d out of range [0,%d)", id, len(sys.Edges))
+	}
+	nw := fednode.TCPNetwork{}
+	ln, err := nw.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//lint:ignore dropped-error shutdown-path close of a drained listener
+		ln.Close()
+	}()
+	addr := ln.Addr().String()
+	fmt.Printf("edge %d: listening on %s, cloud at %s, hosting %d clients\n", id, addr, cloudAddr, len(sys.Edges[id]))
+
+	errs := make(chan error, len(sys.Edges[id]))
+	var wg sync.WaitGroup
+	for _, cl := range sys.Edges[id] {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			if _, err := fednode.NewClient(cid, sys, cfg, nil).Run(nw, addr); err != nil {
+				errs <- fmt.Errorf("client %d: %w", cid, err)
+			}
+		}(cl.ID)
+	}
+	edgeErr := fednode.NewEdge(id, sys, cfg, nil).Run(nw, ln, cloudAddr)
+	wg.Wait()
+	close(errs)
+	if edgeErr != nil {
+		return edgeErr
+	}
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("edge %d: job complete\n", id)
+	return nil
+}

@@ -367,6 +367,11 @@ func validate(sys *System, cfg Config) {
 	case cfg.CostProfile.Name == "":
 		panic(fmt.Sprintf("fel: CostProfile is required (got %+v)", cfg.CostProfile))
 	}
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			panic(fmt.Sprintf("fel: %v", err))
+		}
+	}
 }
 
 // FairnessIndex returns Jain's fairness index over all clients'

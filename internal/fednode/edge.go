@@ -1,0 +1,403 @@
+package fednode
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/secagg"
+	"repro/internal/wire"
+)
+
+// Edge is one edge server: it registers with the cloud, accepts its
+// clients, receives the group assignment, and then drives K secure-
+// aggregation group rounds per selected group each global round — the
+// broadcast → collect → reveal → aggregate → report state machine — with
+// straggler deadlines mapping missed masked updates onto secagg dropout
+// recovery.
+type Edge struct {
+	id    int
+	sys   *core.System
+	cfg   JobConfig
+	meter *Meter
+}
+
+// NewEdge prepares edge server id (an index into sys.Edges). meter may be
+// nil.
+func NewEdge(id int, sys *core.System, cfg JobConfig, meter *Meter) *Edge {
+	if meter == nil {
+		meter = &Meter{}
+	}
+	return &Edge{id: id, sys: sys, cfg: cfg.withDefaults(), meter: meter}
+}
+
+func (e *Edge) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// edgeGroup is one assigned group's connection-side state.
+type edgeGroup struct {
+	gid     int
+	members []int // global client ids, in group order
+	samples []int // per-member sample counts
+	ng      int   // total group samples
+	conns   []net.Conn
+	dead    []bool // true once a member dropped; sticky across rounds
+	drops   int    // new deaths observed (reported upstream)
+	recov   int    // group rounds completed via dropout recovery
+}
+
+// Run serves the job: dial the cloud at cloudAddr, accept this edge's
+// clients on ln, then execute rounds until the final model arrives. When
+// Run returns, every group-runner and collector goroutine has been joined
+// and all connections are closed.
+func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
+	cfg := e.cfg
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if e.id < 0 || e.id >= len(e.sys.Edges) {
+		return fmt.Errorf("fednode: edge id %d out of range [0,%d)", e.id, len(e.sys.Edges))
+	}
+
+	rawCloud, err := dialRetry(nw, cloudAddr, cfg.DialAttempts, cfg.DialBackoff)
+	if err != nil {
+		return err
+	}
+	cloudConn := meter(rawCloud, e.meter)
+	defer closeQuiet(cloudConn)
+	reg := &wire.Message{Type: wire.GroupAssign, From: int32(e.id)}
+	if err := sendFrame(cloudConn, e.meter, reg, cfg.RoundTimeout); err != nil {
+		return fmt.Errorf("fednode: edge %d register: %w", e.id, err)
+	}
+
+	// Accept and register this edge's clients.
+	mine := make(map[int]bool, len(e.sys.Edges[e.id]))
+	for _, cl := range e.sys.Edges[e.id] {
+		mine[cl.ID] = true
+	}
+	clientConns := make(map[int]net.Conn, len(mine))
+	defer func() {
+		for _, conn := range clientConns {
+			closeQuiet(conn)
+		}
+	}()
+	for len(clientConns) < len(mine) {
+		raw, err := acceptRetry(ln, cfg.DialAttempts, cfg.DialBackoff)
+		if err != nil {
+			return fmt.Errorf("fednode: edge %d accept: %w", e.id, err)
+		}
+		conn := meter(raw, e.meter)
+		hello, err := expectFrame(conn, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
+		if err != nil {
+			closeQuiet(conn)
+			return fmt.Errorf("fednode: client registration: %w", err)
+		}
+		cid := int(hello.From)
+		if !mine[cid] {
+			closeQuiet(conn)
+			return fmt.Errorf("fednode: client %d does not belong to edge %d", cid, e.id)
+		}
+		if _, dup := clientConns[cid]; dup {
+			closeQuiet(conn)
+			return fmt.Errorf("fednode: duplicate registration for client %d", cid)
+		}
+		clientConns[cid] = conn
+	}
+	e.logf("edge %d: %d clients registered", e.id, len(clientConns))
+
+	// Receive the group assignment and forward each member its group view
+	// (group id, its index, the full membership).
+	refs := clientsByID(e.sys)
+	groups := make(map[int]*edgeGroup)
+	for {
+		m, err := expectFrame(cloudConn, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
+		if err != nil {
+			return fmt.Errorf("fednode: edge %d assignment: %w", e.id, err)
+		}
+		if m.From < 0 {
+			break
+		}
+		g := &edgeGroup{gid: int(m.From), members: intsToIDs(m.Ints)}
+		g.samples = make([]int, len(g.members))
+		g.conns = make([]net.Conn, len(g.members))
+		g.dead = make([]bool, len(g.members))
+		for i, cid := range g.members {
+			ref := refs[cid]
+			conn := clientConns[cid]
+			if ref == nil || conn == nil {
+				return fmt.Errorf("fednode: group %d member %d unknown at edge %d", g.gid, cid, e.id)
+			}
+			g.samples[i] = ref.samples
+			g.ng += ref.samples
+			g.conns[i] = conn
+		}
+		groups[g.gid] = g
+		for i, cid := range g.members {
+			assign := &wire.Message{Type: wire.GroupAssign, From: int32(g.gid), Seq: uint32(i), Ints: m.Ints}
+			if err := sendFrame(clientConns[cid], e.meter, assign, cfg.RoundTimeout); err != nil {
+				return fmt.Errorf("fednode: forward assignment to client %d: %w", cid, err)
+			}
+		}
+	}
+	e.logf("edge %d: %d groups assigned", e.id, len(groups))
+
+	cloud := &lockedConn{conn: cloudConn}
+	for {
+		// Between rounds the edge blocks on the cloud without a deadline:
+		// the cloud decides the job's pace.
+		m, err := readFrame(cloudConn, cfg.MaxFrame, 0)
+		if err != nil {
+			return fmt.Errorf("fednode: edge %d read from cloud: %w", e.id, err)
+		}
+		switch m.Type {
+		case wire.GlobalModel:
+			t := int(m.Round)
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var firstErr error
+			for _, gidRaw := range m.Ints {
+				g := groups[int(gidRaw)]
+				if g == nil {
+					return fmt.Errorf("fednode: edge %d asked to run unknown group %d", e.id, gidRaw)
+				}
+				wg.Add(1)
+				go func(g *edgeGroup) {
+					defer wg.Done()
+					if err := e.runGroup(g, t, m.Floats, cloud); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}(g)
+			}
+			wg.Wait()
+			if firstErr != nil {
+				return firstErr
+			}
+		case wire.GlobalAggregate:
+			// Graceful shutdown: forward the final model to every live
+			// client, ack the cloud, and drain.
+			for cid, conn := range clientConns {
+				if deadConn(groups, cid) {
+					continue
+				}
+				if err := sendFrame(conn, e.meter, m, cfg.RoundTimeout); err != nil {
+					return fmt.Errorf("fednode: forward final model to client %d: %w", cid, err)
+				}
+			}
+			ack := &wire.Message{Type: wire.GlobalAggregate, Round: m.Round, From: int32(e.id)}
+			if err := cloud.send(e.meter, ack, cfg.RoundTimeout); err != nil {
+				return fmt.Errorf("fednode: edge %d shutdown ack: %w", e.id, err)
+			}
+			return nil
+		default:
+			return fmt.Errorf("fednode: edge %d unexpected %s frame from cloud", e.id, m.Type)
+		}
+	}
+}
+
+// deadConn reports whether client cid has been marked dead in any group.
+func deadConn(groups map[int]*edgeGroup, cid int) bool {
+	for _, g := range groups {
+		for i, id := range g.members {
+			if id == cid && g.dead[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runGroup executes K group rounds for one group in global round t and
+// reports the aggregate to the cloud. Each group round walks the
+// broadcast → collect → [reveal] → aggregate state machine; clients that
+// miss the straggler deadline or whose connection drops become secagg
+// dropouts, recovered from the survivors' shares, and stay excluded for the
+// rest of the job.
+func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lockedConn) error {
+	cfg := e.cfg
+	dim := len(globalParams)
+	groupParams := append([]float64(nil), globalParams...)
+	n := len(g.members)
+	threshold := cfg.threshold(n)
+	roundDrops, roundRecov := 0, 0
+
+	for k := 0; k < cfg.GroupRounds; k++ {
+		run := &groupRun{gid: g.gid, round: t, k: k, logf: cfg.Logf}
+		if err := run.to(phaseBroadcast); err != nil {
+			return err
+		}
+		msg := &wire.Message{Type: wire.GlobalModel, Round: uint32(t), Seq: uint32(k), Floats: groupParams}
+		for i := range g.members {
+			if g.dead[i] {
+				continue
+			}
+			if err := sendFrame(g.conns[i], e.meter, msg, cfg.StragglerTimeout); err != nil {
+				// The connection died between rounds; the member becomes a
+				// dropout now rather than at collect time.
+				e.markDead(g, i, err)
+				roundDrops++
+			}
+		}
+
+		if err := run.to(phaseCollect); err != nil {
+			return err
+		}
+		masked := make([][]uint64, n)
+		plain := make([][]float64, n)
+		collectErr := make([]error, n)
+		var wg sync.WaitGroup
+		for i := range g.members {
+			if g.dead[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				m, err := expectFrame(g.conns[i], cfg.MaxFrame, cfg.StragglerTimeout, wire.MaskedUpdate)
+				if err != nil {
+					collectErr[i] = err
+					return
+				}
+				if len(m.Words) > 0 {
+					masked[i] = m.Words
+				} else {
+					plain[i] = m.Floats
+				}
+			}(i)
+		}
+		wg.Wait()
+		var dropped []int
+		for i := range g.members {
+			if g.dead[i] {
+				dropped = append(dropped, i)
+				continue
+			}
+			if collectErr[i] != nil {
+				e.markDead(g, i, collectErr[i])
+				roundDrops++
+				dropped = append(dropped, i)
+			}
+		}
+
+		if n == 1 {
+			// Singleton group: secure aggregation needs two parties, so the
+			// lone client trains in the clear (nothing to hide from
+			// itself). A dropped singleton carries the group model over.
+			if len(dropped) == 0 {
+				if len(plain[0]) != dim {
+					return fmt.Errorf("fednode: group %d singleton update has %d params, want %d", g.gid, len(plain[0]), dim)
+				}
+				groupParams = plain[0]
+			}
+			continue
+		}
+
+		survivors := n - len(dropped)
+		if survivors < threshold {
+			return fmt.Errorf("fednode: group %d round %d.%d: %d survivors below threshold %d",
+				g.gid, t, k, survivors, threshold)
+		}
+
+		sess := secagg.NewSession(n, dim, threshold, sessionSeed(cfg.Seed, t, k, g.gid), cfg.Quantizer)
+		if len(dropped) > 0 {
+			if err := run.to(phaseReveal); err != nil {
+				return err
+			}
+			if err := e.revealShares(g, sess, t, k, dropped); err != nil {
+				return err
+			}
+			roundRecov++
+		}
+
+		if err := run.to(phaseAggregate); err != nil {
+			return err
+		}
+		sum, err := sess.Aggregate(masked, dropped)
+		if err != nil {
+			return fmt.Errorf("fednode: group %d round %d.%d aggregate: %w", g.gid, t, k, err)
+		}
+		if len(dropped) > 0 {
+			// Dropout renormalization: rescale so the surviving members'
+			// n_i/n_g weights sum to one (the hfl convention).
+			survivedSamples := 0
+			for i, s := range g.samples {
+				if !g.dead[i] {
+					survivedSamples += s
+				}
+			}
+			if survivedSamples > 0 {
+				scale := float64(g.ng) / float64(survivedSamples)
+				for j := range sum {
+					sum[j] *= scale
+				}
+			}
+		}
+		groupParams = sum
+	}
+
+	run := &groupRun{gid: g.gid, round: t, k: cfg.GroupRounds, logf: cfg.Logf, state: phaseAggregate}
+	if err := run.to(phaseReport); err != nil {
+		return err
+	}
+	g.drops += roundDrops
+	g.recov += roundRecov
+	out := &wire.Message{
+		Type: wire.GroupAggregate, Round: uint32(t), From: int32(g.gid),
+		Floats: groupParams, Ints: []int32{int32(roundDrops), int32(roundRecov)},
+	}
+	return cloud.send(e.meter, out, cfg.RoundTimeout)
+}
+
+// markDead retires a member's connection after a drop.
+func (e *Edge) markDead(g *edgeGroup, i int, cause error) {
+	g.dead[i] = true
+	closeQuiet(g.conns[i])
+	e.logf("edge %d: client %d dropped from group %d: %v", e.id, g.members[i], g.gid, cause)
+}
+
+// revealShares runs the dropout-recovery exchange: every survivor is told
+// the dropped indices and returns the Shamir shares it holds for them. The
+// returned shares are checked word-for-word against this edge's own session
+// view (the sessions are derived from the same seed), so a tampered or
+// desynchronized survivor is caught before reconstruction.
+func (e *Edge) revealShares(g *edgeGroup, sess *secagg.Session, t, k int, dropped []int) error {
+	cfg := e.cfg
+	req := &wire.Message{Type: wire.ShareReveal, Round: uint32(t), Seq: uint32(k), Ints: idsToInts(dropped)}
+	isDropped := make(map[int]bool, len(dropped))
+	for _, d := range dropped {
+		isDropped[d] = true
+	}
+	for i := range g.members {
+		if g.dead[i] || isDropped[i] {
+			continue
+		}
+		if err := sendFrame(g.conns[i], e.meter, req, cfg.StragglerTimeout); err != nil {
+			return fmt.Errorf("fednode: group %d reveal request to client %d: %w", g.gid, g.members[i], err)
+		}
+		reply, err := expectFrame(g.conns[i], cfg.MaxFrame, cfg.StragglerTimeout, wire.ShareReveal)
+		if err != nil {
+			return fmt.Errorf("fednode: group %d reveal reply from client %d: %w", g.gid, g.members[i], err)
+		}
+		want, err := sess.HeldShares(i, dropped)
+		if err != nil {
+			return fmt.Errorf("fednode: group %d: %w", g.gid, err)
+		}
+		if len(reply.Words) != 2*len(want) {
+			return fmt.Errorf("fednode: group %d client %d revealed %d words, want %d",
+				g.gid, g.members[i], len(reply.Words), 2*len(want))
+		}
+		for s, sh := range want {
+			if reply.Words[2*s] != sh.X || reply.Words[2*s+1] != sh.Y {
+				return fmt.Errorf("fednode: group %d client %d share %d mismatch", g.gid, g.members[i], s)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+// Package fednode runs Group-FEL as a real networked service: a cloud
+// coordinator, edge servers, and clients exchanging wire-framed bytes over
+// net.Conn — TCP sockets in production, in-memory pipes in tests — instead
+// of the closed-form link model of internal/simnet. It is the deployment
+// shape of the paper's Fig. 1: the cloud forms groups and samples them each
+// round, edges drive K secure-aggregation group rounds against their
+// connected clients, and the cloud aggregates the returned group models.
+//
+// Control plane and failure are real here: stragglers are read deadlines,
+// a client dropout is a closed connection or a missed deadline, and the
+// edge recovers by collecting Shamir shares from the survivors
+// (internal/secagg) — the round completes without the lost update. The
+// data plane stays deterministic: every process builds the same synthetic
+// System from the shared seed, so only model parameters, masked updates,
+// and shares cross the wire, and a loopback run reproduces the in-process
+// trainer (internal/core.Train) up to secure-aggregation quantization.
+//
+// The three execution paths — in-process (core.Train), modeled network
+// (internal/hfl over simnet), and real sockets (this package) — share the
+// same grouping/sampling/secagg substrates; simnet remains the source of
+// *modeled* link times, while this package reports measured wall-clock and
+// bytes on the wire.
+package fednode
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/sampling"
+	"repro/internal/secagg"
+	"repro/internal/wire"
+)
+
+// ForcedDrop is a fault-injection directive for tests and demos: the client
+// with this global id closes its edge connection mid-round — after local
+// training, instead of submitting its masked update — during global round
+// Round, group round GroupRound. The protocol must recover via secagg
+// dropout handling.
+type ForcedDrop struct {
+	Client, Round, GroupRound int
+}
+
+// JobConfig parameterizes one networked Group-FEL job. The algorithmic
+// fields mirror core.Config so a loopback run is comparable, seed-for-seed,
+// with the in-process trainer.
+type JobConfig struct {
+	// GlobalRounds (T), GroupRounds (K), LocalEpochs (E) as in Alg. 1.
+	GlobalRounds, GroupRounds, LocalEpochs int
+	// BatchSize and LR for local SGD.
+	BatchSize int
+	LR        float64
+	// SampleGroups is S, the groups drawn per global round.
+	SampleGroups int
+	// Grouping forms groups at the cloud (Alg. 1 lines 2–3). Ignored when
+	// Groups is set.
+	Grouping grouping.Algorithm
+	// Sampling and Weights pick the Sec. 6 schemes.
+	Sampling sampling.Method
+	Weights  sampling.WeightScheme
+	// Seed drives formation, sampling, local shuffling, and the secure
+	// aggregation sessions — the same derivations as core.Train, so results
+	// line up.
+	Seed uint64
+	// Quantizer for masked updates; zero value uses the default.
+	Quantizer secagg.Quantizer
+	// ThresholdFrac is the Shamir threshold as a fraction of group size
+	// (minimum 2); zero means 2/3.
+	ThresholdFrac float64
+	// EvalEvery evaluates the global model every n rounds (0 or 1 = every
+	// round); the final round is always evaluated.
+	EvalEvery int
+
+	// Groups, when non-nil, skips formation and uses these groups verbatim
+	// (the caller already ran an Algorithm). Used by the single-round API.
+	Groups []*grouping.Group
+	// FixedSelection, when non-nil, overrides sampling: round t trains
+	// FixedSelection[t] (indices into the group list). Must have
+	// GlobalRounds entries.
+	FixedSelection [][]int
+	// InitParams, when non-nil, seeds the global model instead of a fresh
+	// NewModel(ModelSeed) initialization.
+	InitParams []float64
+
+	// StragglerTimeout bounds how long an edge waits for one client's
+	// masked update (or share reveal) in a group round; a miss becomes a
+	// secagg dropout. Default 5s.
+	StragglerTimeout time.Duration
+	// RoundTimeout bounds how long the cloud waits for an edge's group
+	// aggregates each round, and how long registration may take. Default 2m.
+	RoundTimeout time.Duration
+	// DialAttempts and DialBackoff bound the connection-establishment retry
+	// loop (exponential, capped at 1s per step). Defaults: 10 and 25ms.
+	DialAttempts int
+	DialBackoff  time.Duration
+	// MaxFrame bounds accepted frame payloads; 0 uses wire.DefaultMaxFrame.
+	MaxFrame int
+
+	// ForceDrop, when non-nil, injects one mid-round client disconnect.
+	ForceDrop *ForcedDrop
+	// Logf, when non-nil, receives protocol trace lines.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills zero-valued tuning knobs.
+func (cfg JobConfig) withDefaults() JobConfig {
+	if cfg.Quantizer == (secagg.Quantizer{}) {
+		cfg.Quantizer = secagg.DefaultQuantizer()
+	}
+	if cfg.ThresholdFrac <= 0 {
+		cfg.ThresholdFrac = 2.0 / 3
+	}
+	if cfg.StragglerTimeout <= 0 {
+		cfg.StragglerTimeout = 5 * time.Second
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 2 * time.Minute
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = 10
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	return cfg
+}
+
+// validate rejects unusable configs with an error (networked mode fails
+// with errors, not panics: a bad config on one node must not take down a
+// deployment with a stack trace).
+func (cfg JobConfig) validate() error {
+	switch {
+	case cfg.GlobalRounds <= 0 || cfg.GroupRounds <= 0 || cfg.LocalEpochs <= 0:
+		return fmt.Errorf("fednode: T, K, E must be positive")
+	case cfg.LR <= 0:
+		return fmt.Errorf("fednode: LR must be positive")
+	case cfg.Groups == nil && cfg.Grouping == nil:
+		return fmt.Errorf("fednode: a Grouping algorithm (or explicit Groups) is required")
+	case cfg.FixedSelection == nil && cfg.SampleGroups <= 0:
+		return fmt.Errorf("fednode: SampleGroups must be positive")
+	case cfg.FixedSelection != nil && len(cfg.FixedSelection) != cfg.GlobalRounds:
+		return fmt.Errorf("fednode: FixedSelection has %d rounds, want %d", len(cfg.FixedSelection), cfg.GlobalRounds)
+	}
+	return nil
+}
+
+// threshold returns the Shamir threshold for a group of n clients, the same
+// clamp as internal/hfl: ceil(frac·n) in [2, n].
+func (cfg JobConfig) threshold(n int) int {
+	t := int(math.Ceil(cfg.ThresholdFrac * float64(n)))
+	if t < 2 {
+		t = 2
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}
+
+// sessionSeed derives the secure-aggregation session seed for (global round
+// t, group round k, group gid). Every member and the edge derive the same
+// value independently, so no key material crosses the wire.
+func sessionSeed(seed uint64, t, k, gid int) uint64 {
+	return seed ^
+		(uint64(t+1) * 0x9e3779b97f4a7c15) ^
+		(uint64(k+1) * 0xc2b2ae3d27d4eb4f) ^
+		(uint64(gid+1) * 0xff51afd7ed558ccd)
+}
+
+// localSeed derives a client's local-training RNG seed, byte-for-byte the
+// derivation of core.runGroup so a clean loopback run follows the exact
+// trajectory of the in-process trainer (modulo quantization).
+func localSeed(seed uint64, t, gid, cid int) uint64 {
+	return seed ^
+		(uint64(t+1) * 0x9e3779b97f4a7c15) ^
+		(uint64(gid+1) * 0xc2b2ae3d27d4eb4f) ^
+		(uint64(cid+1) * 0x165667b19e3779f9)
+}
+
+// RoundStat reports one global round as observed at the cloud.
+type RoundStat struct {
+	Round int
+	// Accuracy and Loss on the held-out test set (-1 when skipped).
+	Accuracy, Loss float64
+	// Selected is the number of groups trained.
+	Selected int
+	// Dropouts counts client updates lost this round (timeouts and closed
+	// connections); Recoveries counts group rounds completed via secagg
+	// dropout recovery.
+	Dropouts, Recoveries int
+	// WireBytes is the transport bytes written by all metered nodes during
+	// this round (loopback: the whole cluster; distributed: this process).
+	WireBytes int64
+}
+
+// Report is the outcome of a networked job.
+type Report struct {
+	Rounds []RoundStat
+	// FinalAccuracy and FinalLoss are measured after the last round.
+	FinalAccuracy, FinalLoss float64
+	// Params is the final global parameter vector.
+	Params []float64
+	// RoundsRun counts completed global rounds.
+	RoundsRun int
+	// Dropouts and Recoveries total the per-round counts.
+	Dropouts, Recoveries int
+	// WallClock is the measured (not modeled) job duration.
+	WallClock time.Duration
+	// WireWritten / WireRead are transport-level byte counts over every
+	// metered connection; Frames and AccountedBytes are the send-site frame
+	// count and the codec-computed byte total. On a clean loopback run
+	// WireWritten == AccountedBytes exactly — the cross-check that the wire
+	// codec's accounting matches the bytes that actually moved.
+	WireWritten, WireRead int64
+	Frames                int64
+	AccountedBytes        int64
+}
+
+// phase is one state of the edge's per-group round state machine.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseBroadcast
+	phaseCollect
+	phaseReveal
+	phaseAggregate
+	phaseReport
+)
+
+func (p phase) String() string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseBroadcast:
+		return "broadcast"
+	case phaseCollect:
+		return "collect"
+	case phaseReveal:
+		return "reveal"
+	case phaseAggregate:
+		return "aggregate"
+	case phaseReport:
+		return "report"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// groupRun is the per-(round, group) state machine an edge drives: it may
+// only advance forward through the phases, and every transition is traced.
+type groupRun struct {
+	gid, round, k int
+	state         phase
+	logf          func(format string, args ...any)
+}
+
+// to advances the state machine, enforcing forward-only transitions.
+func (r *groupRun) to(next phase) error {
+	if next < r.state {
+		return fmt.Errorf("fednode: group %d round %d.%d: illegal transition %s → %s", r.gid, r.round, r.k, r.state, next)
+	}
+	r.state = next
+	if r.logf != nil {
+		r.logf("edge: group %d round %d.%d → %s", r.gid, r.round, r.k, next)
+	}
+	return nil
+}
+
+// sendFrame writes one frame to conn under the write deadline, counting it
+// in the meter. A nil deadline disables the timeout.
+func sendFrame(conn net.Conn, m *Meter, msg *wire.Message, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("fednode: set write deadline: %w", err)
+		}
+	}
+	n, err := wire.Encode(conn, msg)
+	if err != nil {
+		return fmt.Errorf("fednode: send %s: %w", msg.Type, err)
+	}
+	if m != nil {
+		m.frames.Add(1)
+		m.accounted.Add(int64(n))
+	}
+	return nil
+}
+
+// readFrame reads one frame from conn under the read deadline. A zero
+// timeout blocks indefinitely.
+func readFrame(conn net.Conn, maxFrame int, timeout time.Duration) (*wire.Message, error) {
+	var zero time.Time
+	deadline := zero
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("fednode: set read deadline: %w", err)
+	}
+	return wire.Decode(conn, maxFrame)
+}
+
+// expectFrame reads one frame and checks its type.
+func expectFrame(conn net.Conn, maxFrame int, timeout time.Duration, want wire.Type) (*wire.Message, error) {
+	m, err := readFrame(conn, maxFrame, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("fednode: got %s frame, want %s", m.Type, want)
+	}
+	return m, nil
+}
+
+// lockedConn serializes frame writes to one conn shared by several
+// goroutines (an edge's group runners all report to the cloud).
+type lockedConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (l *lockedConn) send(m *Meter, msg *wire.Message, timeout time.Duration) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return sendFrame(l.conn, m, msg, timeout)
+}
+
+// clientsByID indexes a system's clients for id lookup.
+func clientsByID(sys *core.System) map[int]*clientRef {
+	m := make(map[int]*clientRef, len(sys.Clients))
+	for _, c := range sys.Clients {
+		m[c.ID] = &clientRef{id: c.ID, samples: c.NumSamples()}
+	}
+	return m
+}
+
+type clientRef struct {
+	id      int
+	samples int
+}
+
+// intsToIDs converts a wire id list to ints.
+func intsToIDs(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// idsToInts converts ints to a wire id list.
+func idsToInts(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package fednode
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network abstracts how nodes reach each other: real TCP in production,
+// in-memory net.Pipe pairs in tests. Every conn a Network hands out is
+// already wrapped for byte metering by the callers in this package.
+type Network interface {
+	// Listen opens a listener on addr. For TCP, addr is a host:port (use
+	// "127.0.0.1:0" for an ephemeral port and read it back from
+	// Listener.Addr). For the memory network, addr is any unique name.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a listener previously opened on addr.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCPNetwork is the production Network: real sockets.
+type TCPNetwork struct {
+	// DialTimeout bounds one connection attempt (default 3s).
+	DialTimeout time.Duration
+}
+
+// Listen opens a TCP listener.
+func (t TCPNetwork) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial connects over TCP.
+func (t TCPNetwork) Dial(addr string) (net.Conn, error) {
+	d := t.DialTimeout
+	if d <= 0 {
+		d = 3 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, d)
+}
+
+// MemNetwork is an in-process Network over synchronous net.Pipe pairs —
+// no ports, no kernel buffers, full deadline support. Used by tests.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	autoN     int
+}
+
+// NewMemNetwork returns an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+// Listen registers addr; later Dials of the same addr reach this listener.
+// An empty addr auto-assigns a unique name (read it back from Addr), the
+// memnet analogue of TCP port 0.
+func (m *MemNetwork) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" {
+		m.autoN++
+		addr = fmt.Sprintf("mem-%d", m.autoN)
+	}
+	if _, dup := m.listeners[addr]; dup {
+		return nil, fmt.Errorf("fednode: memnet address %q already in use", addr)
+	}
+	l := &memListener{addr: addr, backlog: make(chan net.Conn, 64), done: make(chan struct{})}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial creates a pipe pair, delivering the server end to addr's listener.
+func (m *MemNetwork) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	l := m.listeners[addr]
+	m.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("fednode: memnet dial %q: connection refused", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("fednode: memnet dial %q: listener closed", addr)
+	}
+}
+
+type memListener struct {
+	addr    string
+	backlog chan net.Conn
+	done    chan struct{}
+	closed  sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("fednode: memnet listener %q closed", l.addr)
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closed.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// Meter accumulates transport-level byte and frame counts across every
+// connection of a job. In a loopback run a single Meter sees all nodes, so
+// Written (transport bytes that left a socket) can be cross-checked against
+// Accounted (the sum of wire.Message.EncodedSize at every send site): the
+// two must agree exactly on a clean run, proving the codec's accounting
+// matches what actually moved.
+type Meter struct {
+	written   atomic.Int64
+	read      atomic.Int64
+	frames    atomic.Int64
+	accounted atomic.Int64
+}
+
+// Written returns the total bytes written to metered conns.
+func (m *Meter) Written() int64 { return m.written.Load() }
+
+// Read returns the total bytes read from metered conns.
+func (m *Meter) Read() int64 { return m.read.Load() }
+
+// Frames returns the number of frames sent through sendFrame.
+func (m *Meter) Frames() int64 { return m.frames.Load() }
+
+// Accounted returns the codec-accounted bytes of all frames sent.
+func (m *Meter) Accounted() int64 { return m.accounted.Load() }
+
+// meteredConn counts transport bytes through a net.Conn.
+type meteredConn struct {
+	net.Conn
+	m *Meter
+}
+
+func (c *meteredConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.m.read.Add(int64(n))
+	return n, err
+}
+
+func (c *meteredConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.m.written.Add(int64(n))
+	return n, err
+}
+
+// meter wraps conn so its traffic lands in m.
+func meter(conn net.Conn, m *Meter) net.Conn {
+	return &meteredConn{Conn: conn, m: m}
+}
+
+// dialRetry dials addr with bounded exponential backoff, absorbing the
+// startup races of a distributed launch (an edge dialing the cloud before
+// its listener is up) and transient refusals. The backoff schedule is fixed
+// — no randomized jitter — so runs replay deterministically apart from
+// wall-clock time.
+func dialRetry(nw Network, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		var c net.Conn
+		c, err = nw.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("fednode: dial %s failed after %d attempts: %w", addr, attempts, err)
+}
+
+// acceptRetry accepts one connection, retrying transient (timeout-class)
+// failures with bounded backoff; any other error is fatal.
+func acceptRetry(ln net.Listener, attempts int, backoff time.Duration) (net.Conn, error) {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		var c net.Conn
+		c, err = ln.Accept()
+		if err == nil {
+			return c, nil
+		}
+		if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("fednode: accept failed after %d attempts: %w", attempts, err)
+}
+
+// closeQuiet closes c on a shutdown path where the close error changes
+// nothing for the caller.
+func closeQuiet(c interface{ Close() error }) {
+	//lint:ignore dropped-error shutdown-path close; the connection is being abandoned either way
+	c.Close()
+}

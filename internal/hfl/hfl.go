@@ -79,6 +79,9 @@ func RunGlobalRound(sys *core.System, groups []*grouping.Group, selected []int, 
 	if cfg.Topology == (simnet.Topology{}) {
 		cfg.Topology = simnet.Default()
 	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("hfl: %w", err)
+	}
 	if cfg.Profile.Name == "" {
 		cfg.Profile = cost.CIFARProfile()
 	}

@@ -212,6 +212,26 @@ func (s *Session) Aggregate(masked [][]uint64, dropped []int) ([]float64, error)
 	return s.Quant.Dequantize(sum, survivors), nil
 }
 
+// HeldShares returns the shares client holder holds for each subject: its
+// share of the subject's personal-mask secret b_d and of the subject's key
+// token, two shares per subject in subject order. This is what a surviving
+// client reveals to the aggregation server during dropout recovery; the
+// networked protocol (internal/fednode) moves exactly these values in its
+// ShareReveal exchange before Aggregate reconstructs from them.
+func (s *Session) HeldShares(holder int, subjects []int) ([]Share, error) {
+	if holder < 0 || holder >= s.N {
+		return nil, fmt.Errorf("secagg: share holder %d out of range", holder)
+	}
+	out := make([]Share, 0, 2*len(subjects))
+	for _, d := range subjects {
+		if d < 0 || d >= s.N {
+			return nil, fmt.Errorf("secagg: share subject %d out of range", d)
+		}
+		out = append(out, s.selfShares[d][holder], s.keyShares[d][holder])
+	}
+	return out, nil
+}
+
 // collectShares gathers Threshold shares from surviving holders. Share k of
 // a secret is held by client k.
 func (s *Session) collectShares(all []Share, isDropped []bool) []Share {

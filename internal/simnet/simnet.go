@@ -9,6 +9,7 @@ package simnet
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Link models a network link with fixed latency (seconds) and bandwidth
@@ -18,10 +19,26 @@ type Link struct {
 	Bandwidth float64
 }
 
+// Validate rejects unusable link parameters: bandwidth must be positive and
+// latency non-negative. Callers should validate once at setup (see
+// Topology.Validate) rather than discover a bad link mid-simulation.
+func (l Link) Validate() error {
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("simnet: link bandwidth must be positive (got %g)", l.Bandwidth)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("simnet: link latency must be non-negative (got %g)", l.Latency)
+	}
+	return nil
+}
+
 // TransferTime returns the time to move the given payload across the link.
+// The link is assumed validated; an unusable link (non-positive bandwidth)
+// yields +Inf rather than a panic, so a missed Validate surfaces as an
+// absurd wall-clock figure instead of taking the process down.
 func (l Link) TransferTime(bytes int) float64 {
 	if l.Bandwidth <= 0 {
-		panic("simnet: link bandwidth must be positive")
+		return math.Inf(1)
 	}
 	return l.Latency + float64(bytes)/l.Bandwidth
 }
@@ -32,6 +49,18 @@ func (l Link) TransferTime(bytes int) float64 {
 type Topology struct {
 	ClientEdge Link
 	EdgeCloud  Link
+}
+
+// Validate rejects a topology with unusable links; run it once when a round
+// or training run is configured.
+func (t Topology) Validate() error {
+	if err := t.ClientEdge.Validate(); err != nil {
+		return fmt.Errorf("simnet: client–edge link: %w", err)
+	}
+	if err := t.EdgeCloud.Validate(); err != nil {
+		return fmt.Errorf("simnet: edge–cloud link: %w", err)
+	}
+	return nil
 }
 
 // Default returns a topology with edge-computing-typical numbers: ~5 ms /

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -15,13 +16,39 @@ func TestTransferTime(t *testing.T) {
 	}
 }
 
-func TestTransferTimePanicsOnBadBandwidth(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Link{Latency: 0, Bandwidth: 0}.TransferTime(1)
+func TestLinkValidate(t *testing.T) {
+	if err := (Link{Latency: 0, Bandwidth: 0}).Validate(); err == nil {
+		t.Fatal("zero bandwidth passed validation")
+	}
+	if err := (Link{Latency: -1, Bandwidth: 1e6}).Validate(); err == nil {
+		t.Fatal("negative latency passed validation")
+	}
+	if err := (Link{Latency: 0.01, Bandwidth: 1e6}).Validate(); err != nil {
+		t.Fatalf("valid link rejected: %v", err)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default topology rejected: %v", err)
+	}
+	bad := Default()
+	bad.EdgeCloud.Bandwidth = 0
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("bad edge–cloud link passed validation")
+	}
+	if !strings.Contains(err.Error(), "edge–cloud") {
+		t.Fatalf("error does not name the offending link: %v", err)
+	}
+}
+
+func TestTransferTimeOnUnvalidatedLinkIsInf(t *testing.T) {
+	// A link that skipped Validate must not take the process down; the
+	// unusable bandwidth surfaces as an infinite transfer time instead.
+	if got := (Link{Latency: 0, Bandwidth: 0}).TransferTime(1); !math.IsInf(got, 1) {
+		t.Fatalf("TransferTime on zero bandwidth = %v, want +Inf", got)
+	}
 }
 
 func TestGroupRoundTime(t *testing.T) {

@@ -101,6 +101,27 @@ func sanitize(s string) string {
 	return strings.NewReplacer(",", ";", "\n", " ").Replace(s)
 }
 
+// sanitizeMD neutralizes the characters that would break a markdown table
+// cell: pipes become escaped pipes and newlines collapse to spaces.
+func sanitizeMD(s string) string {
+	return strings.NewReplacer("|", "\\|", "\r\n", " ", "\n", " ", "\r", " ").Replace(s)
+}
+
+// Markdown renders the figure as a long-form markdown table (series, x, y),
+// the same shape as CSV but paste-able into a README or PR description.
+func (f *Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s — %s**\n\n", sanitizeMD(f.ID), sanitizeMD(f.Title))
+	fmt.Fprintf(&b, "| series | %s | %s |\n", sanitizeMD(f.XLabel), sanitizeMD(f.YLabel))
+	b.WriteString("|" + strings.Repeat(" --- |", 3) + "\n")
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "| %s | %g | %g |\n", sanitizeMD(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
 // Table mirrors one table of the paper.
 type Table struct {
 	ID     string
@@ -130,14 +151,16 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// Markdown renders the table as a GitHub-flavoured markdown table.
+// Markdown renders the table as a GitHub-flavoured markdown table. Cells
+// and headers are sanitized like the CSV path: a literal | or newline in a
+// cell must not change the table's shape.
 func (t *Table) Markdown() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "**%s — %s**\n\n", t.ID, t.Title)
-	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	fmt.Fprintf(&b, "**%s — %s**\n\n", sanitizeMD(t.ID), sanitizeMD(t.Title))
+	b.WriteString("| " + strings.Join(mapSlice(t.Header, sanitizeMD), " | ") + " |\n")
 	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
 	for _, row := range t.Rows {
-		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		b.WriteString("| " + strings.Join(mapSlice(row, sanitizeMD), " | ") + " |\n")
 	}
 	return b.String()
 }

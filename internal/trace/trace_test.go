@@ -67,6 +67,47 @@ func TestTableCSVAndMarkdown(t *testing.T) {
 	}
 }
 
+func TestTableMarkdownSanitizesCells(t *testing.T) {
+	tb := &Table{ID: "t|2", Title: "with\nnewline", Header: []string{"a|b", "c"}}
+	tb.AddRow("x|y", "line1\nline2")
+	md := tb.Markdown()
+	if !strings.Contains(md, `**t\|2 — with newline**`) {
+		t.Fatalf("title not sanitized:\n%s", md)
+	}
+	if !strings.Contains(md, `| a\|b | c |`) {
+		t.Fatalf("header not sanitized:\n%s", md)
+	}
+	if !strings.Contains(md, `| x\|y | line1 line2 |`) {
+		t.Fatalf("cells not sanitized:\n%s", md)
+	}
+	// Every rendered line must still have the same number of columns.
+	for _, line := range strings.Split(strings.TrimSpace(md), "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		if n := strings.Count(strings.ReplaceAll(line, `\|`, ""), "|"); n != 3 {
+			t.Fatalf("line %q has %d unescaped pipes, want 3", line, n)
+		}
+	}
+}
+
+func TestFigureMarkdown(t *testing.T) {
+	f := &Figure{ID: "fig9", Title: "acc | cost", XLabel: "cost", YLabel: "acc"}
+	s := f.AddSeries("CoV|G")
+	s.Add(1, 0.5)
+	s.Add(2, 0.75)
+	md := f.Markdown()
+	if !strings.Contains(md, `**fig9 — acc \| cost**`) {
+		t.Fatalf("title not sanitized:\n%s", md)
+	}
+	if !strings.Contains(md, "| series | cost | acc |") {
+		t.Fatalf("missing header:\n%s", md)
+	}
+	if !strings.Contains(md, `| CoV\|G | 2 | 0.75 |`) {
+		t.Fatalf("missing sanitized data row:\n%s", md)
+	}
+}
+
 func TestTableRowMismatchPanics(t *testing.T) {
 	tb := &Table{Header: []string{"a", "b"}}
 	defer func() {

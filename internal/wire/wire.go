@@ -1,0 +1,270 @@
+// Package wire is the binary framing codec of the networked federation
+// mode (internal/fednode): a versioned, length-prefixed frame format for
+// the Alg. 1 message vocabulary — GlobalModel, GroupAssign, MaskedUpdate,
+// ShareReveal, GroupAggregate, GlobalAggregate — carrying float parameter
+// vectors, field-element words, and integer id lists between the cloud,
+// edge servers, and clients over any io.Reader/io.Writer (TCP in
+// production, net.Pipe in tests).
+//
+// Frame layout (big endian):
+//
+//	magic   uint16  0xFE1D
+//	version uint8   1
+//	type    uint8   message type (1..6)
+//	round   uint32  global round id
+//	paylen  uint32  payload byte count
+//	crc     uint32  IEEE CRC32 of the payload
+//	payload paylen bytes
+//
+// The payload encodes Seq, From, and the three typed vectors with explicit
+// element counts. Decoding is strict: bad magic, unknown version or type,
+// an oversized frame, a checksum mismatch, a truncated stream, or a payload
+// whose declared vector lengths do not exactly consume it are all distinct
+// errors — nothing is silently repaired. EncodedSize is exact, so callers
+// can account bytes-on-the-wire without hitting the socket.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Type identifies one message of the Alg. 1 vocabulary.
+type Type uint8
+
+// The message vocabulary of one Group-FEL round trip (paper Fig. 1/Alg. 1).
+const (
+	// GlobalModel carries model parameters downstream: cloud→edge with the
+	// selected group ids, or edge→client as the group-round broadcast.
+	GlobalModel Type = 1 + iota
+	// GroupAssign carries group membership: node registration (From = id),
+	// cloud→edge formation results, and edge→client index assignment.
+	GroupAssign
+	// MaskedUpdate is a client's secure-aggregation-masked local update
+	// (field elements in Words; plaintext Floats only for singleton groups).
+	MaskedUpdate
+	// ShareReveal is the dropout-recovery exchange: edge→survivor names the
+	// dropped indices, survivor→edge returns its held Shamir shares.
+	ShareReveal
+	// GroupAggregate is an edge's unmasked group model after K group rounds.
+	GroupAggregate
+	// GlobalAggregate is the final global model, broadcast at shutdown.
+	GlobalAggregate
+
+	typeMax = GlobalAggregate
+)
+
+// String returns the wire name of the type.
+func (t Type) String() string {
+	switch t {
+	case GlobalModel:
+		return "GlobalModel"
+	case GroupAssign:
+		return "GroupAssign"
+	case MaskedUpdate:
+		return "MaskedUpdate"
+	case ShareReveal:
+		return "ShareReveal"
+	case GroupAggregate:
+		return "GroupAggregate"
+	case GlobalAggregate:
+		return "GlobalAggregate"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+const (
+	// Magic opens every frame.
+	Magic uint16 = 0xFE1D
+	// Version is the current protocol version.
+	Version uint8 = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 16
+	// DefaultMaxFrame bounds a frame's payload unless the caller overrides
+	// it: 64 MiB covers ~8M float64 parameters.
+	DefaultMaxFrame = 64 << 20
+)
+
+// Strict decode errors, matchable with errors.Is.
+var (
+	ErrBadMagic  = errors.New("wire: bad frame magic")
+	ErrVersion   = errors.New("wire: unsupported protocol version")
+	ErrBadType   = errors.New("wire: unknown message type")
+	ErrTooLarge  = errors.New("wire: frame exceeds size limit")
+	ErrChecksum  = errors.New("wire: payload checksum mismatch")
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrMalformed = errors.New("wire: malformed payload")
+)
+
+// Message is one protocol message. Round is the global round t; Seq is the
+// group round k (or a secondary counter); From names the subject — a client
+// index, group id, or edge id depending on Type. The three vectors carry
+// model parameters (Floats), field elements or Shamir shares (Words), and
+// id lists (Ints).
+type Message struct {
+	Type  Type
+	Round uint32
+	Seq   uint32
+	From  int32
+	// Floats holds model parameter vectors.
+	Floats []float64
+	// Words holds prime-field elements (masked updates) or share pairs.
+	Words []uint64
+	// Ints holds id lists (group members, selected groups, dropped indices).
+	Ints []int32
+}
+
+// EncodedSize returns the exact on-the-wire byte count of the message,
+// header included.
+func (m *Message) EncodedSize() int {
+	return HeaderSize + m.payloadSize()
+}
+
+func (m *Message) payloadSize() int {
+	// seq(4) + from(4) + three length-prefixed vectors.
+	return 8 + 4 + 8*len(m.Floats) + 4 + 8*len(m.Words) + 4 + 4*len(m.Ints)
+}
+
+// Encode writes the message as one frame, returning the bytes written.
+// The write is a single Write call so a frame is never interleaved when the
+// caller serializes access to the writer.
+func Encode(w io.Writer, m *Message) (int, error) {
+	if m.Type < 1 || m.Type > typeMax {
+		return 0, fmt.Errorf("%w: %d", ErrBadType, uint8(m.Type))
+	}
+	payLen := m.payloadSize()
+	buf := make([]byte, HeaderSize+payLen)
+	p := buf[HeaderSize:]
+	binary.BigEndian.PutUint32(p[0:], m.Seq)
+	binary.BigEndian.PutUint32(p[4:], uint32(m.From))
+	off := 8
+	binary.BigEndian.PutUint32(p[off:], uint32(len(m.Floats)))
+	off += 4
+	for _, f := range m.Floats {
+		binary.BigEndian.PutUint64(p[off:], math.Float64bits(f))
+		off += 8
+	}
+	binary.BigEndian.PutUint32(p[off:], uint32(len(m.Words)))
+	off += 4
+	for _, v := range m.Words {
+		binary.BigEndian.PutUint64(p[off:], v)
+		off += 8
+	}
+	binary.BigEndian.PutUint32(p[off:], uint32(len(m.Ints)))
+	off += 4
+	for _, v := range m.Ints {
+		binary.BigEndian.PutUint32(p[off:], uint32(v))
+		off += 4
+	}
+
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = uint8(m.Type)
+	binary.BigEndian.PutUint32(buf[4:], m.Round)
+	binary.BigEndian.PutUint32(buf[8:], uint32(payLen))
+	binary.BigEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(p))
+	return w.Write(buf)
+}
+
+// Decode reads one frame from r. maxFrame bounds the payload length (<= 0
+// uses DefaultMaxFrame). A clean EOF before any header byte returns io.EOF;
+// every other short read returns ErrTruncated.
+func Decode(r io.Reader, maxFrame int) (*Message, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if got := binary.BigEndian.Uint16(hdr[0:]); got != Magic {
+		return nil, fmt.Errorf("%w: 0x%04x", ErrBadMagic, got)
+	}
+	if hdr[2] != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, hdr[2], Version)
+	}
+	typ := Type(hdr[3])
+	if typ < 1 || typ > typeMax {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, hdr[3])
+	}
+	payLen := int(binary.BigEndian.Uint32(hdr[8:]))
+	if payLen > maxFrame {
+		return nil, fmt.Errorf("%w: payload %d > limit %d", ErrTooLarge, payLen, maxFrame)
+	}
+	if payLen < 20 { // seq + from + three zero-length vector counts
+		return nil, fmt.Errorf("%w: payload %d below minimum 20", ErrMalformed, payLen)
+	}
+	p := make([]byte, payLen)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	if got, want := crc32.ChecksumIEEE(p), binary.BigEndian.Uint32(hdr[12:]); got != want {
+		return nil, fmt.Errorf("%w: got 0x%08x, want 0x%08x", ErrChecksum, got, want)
+	}
+
+	m := &Message{
+		Type:  typ,
+		Round: binary.BigEndian.Uint32(hdr[4:]),
+		Seq:   binary.BigEndian.Uint32(p[0:]),
+		From:  int32(binary.BigEndian.Uint32(p[4:])),
+	}
+	off := 8
+	n, off, err := vectorLen(p, off, 8)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Floats = make([]float64, n)
+		for i := range m.Floats {
+			m.Floats[i] = math.Float64frombits(binary.BigEndian.Uint64(p[off:]))
+			off += 8
+		}
+	}
+	n, off, err = vectorLen(p, off, 8)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Words = make([]uint64, n)
+		for i := range m.Words {
+			m.Words[i] = binary.BigEndian.Uint64(p[off:])
+			off += 8
+		}
+	}
+	n, off, err = vectorLen(p, off, 4)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Ints = make([]int32, n)
+		for i := range m.Ints {
+			m.Ints[i] = int32(binary.BigEndian.Uint32(p[off:]))
+			off += 4
+		}
+	}
+	if off != payLen {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrMalformed, payLen-off)
+	}
+	return m, nil
+}
+
+// vectorLen reads a vector's element count at p[off:] and checks that
+// elemSize·count fits in the remaining payload.
+func vectorLen(p []byte, off, elemSize int) (n, next int, err error) {
+	if off+4 > len(p) {
+		return 0, 0, fmt.Errorf("%w: vector count past payload end", ErrMalformed)
+	}
+	n = int(binary.BigEndian.Uint32(p[off:]))
+	next = off + 4
+	if n < 0 || n > (len(p)-next)/elemSize {
+		return 0, 0, fmt.Errorf("%w: vector of %d elements overruns %d-byte payload", ErrMalformed, n, len(p))
+	}
+	return n, next, nil
+}
