@@ -12,12 +12,17 @@
 #   5. go test -race   — race detector over the concurrency-bearing
 #                        packages (tensor matmul fan-out, core parallel
 #                        group training, simnet event loop, wire codec,
-#                        fednode cloud/edge/client servers)
+#                        fednode cloud/edge/client servers, metrics
+#                        registry)
 #   6. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
 #                        (2 edges × 12 clients × 2 rounds), which also
 #                        cross-checks accuracy against the in-process
 #                        trainer and transport bytes against the codec's
 #                        accounting
+#   7. metrics smoke   — the same loopback job with -metrics: polls the
+#                        live HTTP endpoint until the snapshot exposes
+#                        fel_wire_bytes_total and checks every line parses
+#                        as Prometheus text exposition
 #
 # Future PRs inherit this gate: run ./ci.sh before pushing.
 set -euo pipefail
@@ -35,10 +40,49 @@ go run ./cmd/repolint
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (tensor, core, simnet, wire, fednode)"
-go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode
+echo "== go test -race (tensor, core, simnet, wire, fednode, metrics)"
+go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode ./internal/metrics
 
 echo "== felnode loopback smoke (TCP on 127.0.0.1)"
 timeout 120 go run ./cmd/felnode -role loopback -clients 12 -edges 2 -rounds 2
+
+echo "== felnode -metrics smoke (live HTTP endpoint)"
+smokedir="$(mktemp -d)"
+smokepid=""
+cleanup_smoke() {
+  if [ -n "$smokepid" ]; then
+    kill "$smokepid" 2>/dev/null || true
+    wait "$smokepid" 2>/dev/null || true
+    smokepid=""
+  fi
+  rm -rf "$smokedir"
+}
+trap cleanup_smoke EXIT
+go build -o "$smokedir/felnode" ./cmd/felnode
+"$smokedir/felnode" -role loopback -clients 12 -edges 2 -rounds 2 \
+  -metrics 127.0.0.1:19137 -hold 60s > "$smokedir/out.log" 2>&1 &
+smokepid=$!
+snapshot=""
+for _ in $(seq 1 120); do
+  if snapshot="$(curl -sf http://127.0.0.1:19137/metrics 2>/dev/null)" \
+     && grep -q '^fel_wire_bytes_total' <<<"$snapshot"; then
+    break
+  fi
+  snapshot=""
+  sleep 0.5
+done
+if [ -z "$snapshot" ]; then
+  echo "ci.sh: metrics endpoint never served fel_wire_bytes_total" >&2
+  cat "$smokedir/out.log" >&2 || true
+  exit 1
+fi
+if bad="$(grep -Ev '^#|^$|^fel_[a-z0-9_]+(\{[^}]*\})? -?[0-9][0-9eE+.-]*$' <<<"$snapshot")" && [ -n "$bad" ]; then
+  echo "ci.sh: metrics snapshot has unparseable lines:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+echo "metrics smoke: $(grep -c '^fel_' <<<"$snapshot") samples parsed, fel_wire_bytes_total present"
+cleanup_smoke
+trap - EXIT
 
 echo "ci.sh: all gates passed"

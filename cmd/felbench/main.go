@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 // idList renders the experiment id list, shared by -list and the
@@ -76,7 +77,12 @@ func main() {
 	}
 	for _, id := range ids {
 		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", id, sc.Name, *seed)
-		a := reg[id](sc, *seed)
+		// Each experiment gets its own registry, so the JSON dump isolates
+		// that run's counters and spans.
+		mreg := metrics.New()
+		scRun := sc
+		scRun.Metrics = mreg
+		a := reg[id](scRun, *seed)
 		fmt.Println(a.Pretty)
 		if *out != "" {
 			path := filepath.Join(*out, id+".csv")
@@ -85,6 +91,17 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("wrote", path)
+			mjson, err := mreg.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "felbench:", err)
+				os.Exit(1)
+			}
+			mpath := filepath.Join(*out, id+".metrics.json")
+			if err := os.WriteFile(mpath, mjson, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "felbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", mpath)
 		}
 		fmt.Println()
 	}

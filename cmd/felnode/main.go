@@ -14,20 +14,32 @@
 //	felnode -role cloud -listen :9000
 //	felnode -role edge -edge 0 -cloud host:9000 -listen :9100
 //	felnode -role edge -edge 1 -cloud host:9000 -listen :9101
+//
+// With -metrics addr the process additionally serves live introspection
+// over HTTP while the job runs: the deterministic text snapshot on
+// /metrics, expvar on /debug/vars, and the pprof profiles on /debug/pprof.
+// -hold keeps the endpoint up after the job completes so the final
+// counters can still be scraped:
+//
+//	felnode -role loopback -metrics 127.0.0.1:9090 -hold 30s
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/data"
 	"repro/internal/fednode"
 	"repro/internal/grouping"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/sampling"
 	"repro/internal/stats"
@@ -49,6 +61,8 @@ func main() {
 		sample  = flag.Int("sample", 2, "groups sampled per round S")
 		seed    = flag.Uint64("seed", 42, "shared seed: every process derives the same federation from it")
 		dropc   = flag.Int("dropclient", -1, "inject a disconnect: this client vanishes mid-round in round 0")
+		maddr   = flag.String("metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		hold    = flag.Duration("hold", 0, "keep the -metrics endpoint up this long after the job completes")
 		verbose = flag.Bool("v", false, "trace protocol progress")
 	)
 	flag.Parse()
@@ -75,6 +89,19 @@ func main() {
 		}
 	}
 
+	var reg *metrics.Registry
+	var msrv *metricsServer
+	if *maddr != "" {
+		reg = metrics.New()
+		cfg.Meter = fednode.NewMeter(reg)
+		metrics.PublishExpvar("felnode", reg)
+		var merr error
+		if msrv, merr = startMetrics(*maddr, reg); merr != nil {
+			fmt.Fprintln(os.Stderr, "felnode:", merr)
+			os.Exit(1)
+		}
+	}
+
 	var err error
 	switch *role {
 	case "loopback":
@@ -89,6 +116,57 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felnode:", err)
 		os.Exit(1)
+	}
+	if msrv != nil {
+		fmt.Println()
+		fmt.Print(reg.Table("felnode_metrics", "felnode metrics").Markdown())
+		if *hold > 0 {
+			fmt.Printf("metrics: holding endpoint http://%s for %s\n", msrv.addr, *hold)
+			time.Sleep(*hold)
+		}
+		msrv.close()
+	}
+}
+
+// metricsServer is the optional -metrics HTTP endpoint; done carries the
+// Serve goroutine's exit so close can join it.
+type metricsServer struct {
+	addr string
+	srv  *http.Server
+	done chan error
+}
+
+// startMetrics serves reg's introspection handler on addr. It waits briefly
+// for an immediate Serve failure (bad address classes surface through
+// Listen, so this catches in-process races only) before declaring the
+// endpoint up.
+func startMetrics(addr string, reg *metrics.Registry) (*metricsServer, error) {
+	ln, err := fednode.TCPNetwork{}.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listen on %s: %w", addr, err)
+	}
+	s := &metricsServer{
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: metrics.Handler(reg)},
+		done: make(chan error, 1),
+	}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	select {
+	case err := <-s.done:
+		return nil, fmt.Errorf("metrics serve on %s: %w", addr, err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	fmt.Printf("metrics: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", s.addr)
+	return s, nil
+}
+
+// close shuts the endpoint down and joins the Serve goroutine.
+func (s *metricsServer) close() {
+	if err := s.srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "felnode: metrics close:", err)
+	}
+	if err := <-s.done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "felnode: metrics server:", err)
 	}
 }
 

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/compress"
 	"repro/internal/cost"
 	"repro/internal/grouping"
+	"repro/internal/metrics"
 	"repro/internal/sampling"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -73,6 +75,12 @@ type Config struct {
 	// OnRound, when non-nil, is invoked with every round's record as it
 	// completes — live progress for CLIs and dashboards.
 	OnRound OnRoundFunc
+	// Metrics, when non-nil, receives the run's observability stream:
+	// phase spans (local train, group/global aggregation, eval), per-group
+	// selection counters for auditing the sampling distribution against
+	// fel_core_group_prob, and round/dropout totals. All registry methods
+	// are nil-safe, so leaving this unset costs nothing.
+	Metrics *metrics.Registry
 }
 
 // RoundRecord captures the state after one global round.
@@ -126,6 +134,8 @@ func Train(sys *System, cfg Config) *Result {
 	// Lines 2–3: group formation at every edge; line 4: sampling vector.
 	groups := grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(1))
 	probs := sampling.Probabilities(groups, cfg.Sampling)
+	reg := cfg.Metrics
+	publishSampling(reg, groups, probs)
 
 	totalSamples := 0
 	for _, c := range sys.Clients {
@@ -161,6 +171,7 @@ func Train(sys *System, cfg Config) *Result {
 		if cfg.RegroupEvery > 0 && t > 0 && t%cfg.RegroupEvery == 0 {
 			groups = grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(uint64(100+t)))
 			probs = sampling.Probabilities(groups, cfg.Sampling)
+			publishSampling(reg, groups, probs)
 		}
 
 		// Line 6: sample S_t.
@@ -169,6 +180,10 @@ func Train(sys *System, cfg Config) *Result {
 			s = len(groups)
 		}
 		selected := sampling.Sample(sampleRng, probs, s)
+		reg.Counter("fel_core_rounds_total").Inc()
+		for _, gi := range selected {
+			reg.Counter("fel_core_group_selected_total", metrics.L("group", strconv.Itoa(groups[gi].ID))).Inc()
+		}
 
 		// Lines 7–14: each selected group trains in parallel.
 		groupParams := make([][]float64, len(selected))
@@ -181,9 +196,11 @@ func Train(sys *System, cfg Config) *Result {
 		for si := range selected {
 			res.Dropouts += groupDrops[si]
 			res.UplinkBytes += groupBytes[si]
+			reg.Counter("fel_core_dropouts_total").Add(int64(groupDrops[si]))
 		}
 
 		// Line 15: global aggregation.
+		aggSpan := reg.Start("fel_core_global_aggregate_seconds")
 		weights := sampling.Weights(groups, selected, probs, totalSamples, cfg.Weights)
 		next := make([]float64, len(globalParams))
 		for si := range selected {
@@ -196,6 +213,7 @@ func Train(sys *System, cfg Config) *Result {
 		// The unbiased estimator targets the full-population average; the
 		// weights may not sum to 1 in-sample, which is the point (Eq. 4).
 		globalParams = next
+		aggSpan.End()
 
 		if gf, ok := local.(globalRoundFinisher); ok {
 			gf.FinishGlobalRound()
@@ -238,8 +256,10 @@ func Train(sys *System, cfg Config) *Result {
 		}
 		evalNow := cfg.EvalEvery <= 1 || t%cfg.EvalEvery == 0 || t == cfg.GlobalRounds-1
 		if evalNow {
+			evalSpan := reg.Start("fel_core_eval_seconds")
 			global.SetParamVector(globalParams)
 			rec.Accuracy, rec.Loss = Evaluate(global, sys.Test, 0)
+			evalSpan.End()
 		} else {
 			rec.Accuracy, rec.Loss = -1, -1
 		}
@@ -293,6 +313,9 @@ func runGroup(sys *System, cfg Config, local LocalUpdater, compressors *compress
 		(uint64(round+1) * 0xff51afd7ed558ccd) ^
 		(uint64(g.ID+1) * 0xc4ceb9fe1a85ec53))
 
+	reg := cfg.Metrics
+	edgeLabel := metrics.L("edge", strconv.Itoa(g.Edge))
+
 	for k := 0; k < cfg.GroupRounds; k++ {
 		for j := range clientParams {
 			clientParams[j] = 0
@@ -312,7 +335,10 @@ func runGroup(sys *System, cfg Config, local LocalUpdater, compressors *compress
 					(uint64(g.ID+1) * 0xc2b2ae3d27d4eb4f) ^
 					(uint64(c.ID+1) * 0x165667b19e3779f9)),
 			}
+			trainSpan := reg.Start("fel_core_local_train_seconds")
 			local.LocalTrain(model, x, y, ctx)
+			trainSpan.End()
+			reg.Counter("fel_core_local_epochs_total").Add(int64(cfg.LocalEpochs))
 			if cfg.DropoutProb > 0 && dropRng.Float64() < cfg.DropoutProb {
 				drops++
 				continue
@@ -340,16 +366,32 @@ func runGroup(sys *System, cfg Config, local LocalUpdater, compressors *compress
 				clientParams[j] += w * v
 			}
 		}
+		aggSpan := reg.Start("fel_core_group_aggregate_seconds", edgeLabel)
 		if wsum > 0 {
 			inv := 1 / wsum
 			for j := range clientParams {
 				groupParams[j] = clientParams[j] * inv
 			}
 		}
+		aggSpan.End()
 		// wsum == 0: every client dropped this group round; the group model
 		// carries over unchanged.
 	}
 	return groupParams, drops, bytes
+}
+
+// publishSampling exports the current formation's sampling state: one
+// probability, CoV, and size gauge per group. Regrouping republishes, so
+// the gauges always describe the live formation. The sampling-frequency
+// audit (EXPERIMENTS.md) compares fel_core_group_selected_total empirical
+// frequencies against these fel_core_group_prob values.
+func publishSampling(reg *metrics.Registry, groups []*grouping.Group, probs []float64) {
+	for i, g := range groups {
+		gl := metrics.L("group", strconv.Itoa(g.ID))
+		reg.Gauge("fel_core_group_prob", gl).Set(probs[i])
+		reg.Gauge("fel_core_group_cov", gl).Set(g.CoV())
+		reg.Gauge("fel_core_group_size", gl).Set(float64(g.Size()))
+	}
 }
 
 func validate(sys *System, cfg Config) {

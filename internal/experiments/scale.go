@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/data"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 )
 
@@ -65,6 +66,9 @@ type Scale struct {
 	MeanSamples, StdSamples float64
 	// EvalEvery thins test-set evaluations.
 	EvalEvery int
+	// Metrics, when non-nil, instruments every run at this scale; felbench
+	// wires one per experiment and dumps its JSON next to the CSV.
+	Metrics *metrics.Registry
 }
 
 // Small is the CI-sized scale: everything completes in seconds.
@@ -162,5 +166,6 @@ func (s Scale) BaseConfig(task Task, seed uint64) core.Config {
 		CostOps:      cost.DefaultOps(),
 		CostBudget:   s.CostBudget,
 		EvalEvery:    s.EvalEvery,
+		Metrics:      s.Metrics,
 	}
 }

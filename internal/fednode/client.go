@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/metrics"
 	"repro/internal/secagg"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -24,10 +25,13 @@ type Client struct {
 }
 
 // NewClient prepares client id (a global client id from the system). meter
-// may be nil.
+// may be nil (falls back to cfg.Meter, then to a fresh private meter).
 func NewClient(id int, sys *core.System, cfg JobConfig, meter *Meter) *Client {
 	if meter == nil {
-		meter = &Meter{}
+		meter = cfg.Meter
+	}
+	if meter == nil {
+		meter = NewMeter(nil)
 	}
 	return &Client{id: id, sys: sys, cfg: cfg.withDefaults(), meter: meter}
 }
@@ -57,7 +61,7 @@ func (c *Client) Run(nw Network, edgeAddr string) ([]float64, error) {
 		return nil, fmt.Errorf("fednode: client %d not in system", c.id)
 	}
 
-	raw, err := dialRetry(nw, edgeAddr, cfg.DialAttempts, cfg.DialBackoff)
+	raw, err := dialRetry(nw, edgeAddr, cfg.DialAttempts, cfg.DialBackoff, c.meter)
 	if err != nil {
 		return nil, err
 	}
@@ -111,11 +115,13 @@ func (c *Client) Run(nw Network, edgeAddr string) ([]float64, error) {
 			groupParams := m.Floats
 			model.SetParamVector(groupParams)
 			x, y := c.sys.ClientBatch(me)
+			trainSpan := c.meter.Registry().Start("fel_fednode_local_train_seconds", metrics.L("role", "client"))
 			core.SGDUpdater{}.LocalTrain(model, x, y, core.LocalContext{
 				ClientID: c.id, Anchor: groupParams,
 				Epochs: cfg.LocalEpochs, BatchSize: cfg.BatchSize, LR: cfg.LR,
 				Rng: stats.NewRNG(localSeed(cfg.Seed, t, gid, c.id)),
 			})
+			trainSpan.End()
 			if d := cfg.ForceDrop; d != nil && d.Client == c.id && d.Round == t && d.GroupRound == k {
 				// Fault injection: vanish after training, before submitting —
 				// the edge must recover via secagg dropout handling.
@@ -136,6 +142,7 @@ func (c *Client) Run(nw Network, edgeAddr string) ([]float64, error) {
 				sess = secagg.NewSession(n, len(params), threshold, sessionSeed(cfg.Seed, t, k, gid), cfg.Quantizer)
 				sessT, sessK = t, k
 				reply.Words = sess.MaskedUpdate(myIdx, contrib)
+				sess.PublishOps(c.meter.Registry())
 			}
 			if err := sendFrame(conn, c.meter, reply, cfg.StragglerTimeout); err != nil {
 				return nil, fmt.Errorf("fednode: client %d submit round %d.%d: %w", c.id, t, k, err)
@@ -153,6 +160,7 @@ func (c *Client) Run(nw Network, edgeAddr string) ([]float64, error) {
 			for _, sh := range shares {
 				words = append(words, sh.X, sh.Y)
 			}
+			c.meter.Registry().Counter("fel_fednode_shares_revealed_total").Add(int64(len(shares)))
 			out := &wire.Message{Type: wire.ShareReveal, Round: m.Round, Seq: m.Seq, From: int32(c.id), Words: words}
 			if err := sendFrame(conn, c.meter, out, cfg.StragglerTimeout); err != nil {
 				return nil, fmt.Errorf("fednode: client %d reveal reply: %w", c.id, err)

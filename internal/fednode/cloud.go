@@ -3,11 +3,13 @@ package fednode
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/grouping"
+	"repro/internal/metrics"
 	"repro/internal/sampling"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -24,10 +26,14 @@ type Cloud struct {
 	meter *Meter
 }
 
-// NewCloud prepares a coordinator. meter may be nil.
+// NewCloud prepares a coordinator. meter may be nil (falls back to
+// cfg.Meter, then to a fresh private meter).
 func NewCloud(sys *core.System, cfg JobConfig, meter *Meter) *Cloud {
 	if meter == nil {
-		meter = &Meter{}
+		meter = cfg.Meter
+	}
+	if meter == nil {
+		meter = NewMeter(nil)
 	}
 	return &Cloud{sys: sys, cfg: cfg.withDefaults(), meter: meter}
 }
@@ -66,7 +72,7 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 		}
 	}()
 	for i := 0; i < numEdges; i++ {
-		raw, err := acceptRetry(ln, cfg.DialAttempts, cfg.DialBackoff)
+		raw, err := acceptRetry(ln, cfg.DialAttempts, cfg.DialBackoff, c.meter)
 		if err != nil {
 			return nil, fmt.Errorf("fednode: cloud accept: %w", err)
 		}
@@ -104,6 +110,18 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 	byID := make(map[int]int, len(groups))
 	for i, g := range groups {
 		byID[g.ID] = i
+	}
+
+	// Publish the sampling vector under the same fel_core_* schema the
+	// in-process trainer uses: the cloud is the Alg. 1 control plane either
+	// way, so one audit recipe (empirical selection frequency vs p_g, see
+	// EXPERIMENTS.md) reads both kinds of run.
+	mreg := c.meter.Registry()
+	for i, g := range groups {
+		gl := metrics.L("group", strconv.Itoa(g.ID))
+		mreg.Gauge("fel_core_group_prob", gl).Set(probs[i])
+		mreg.Gauge("fel_core_group_cov", gl).Set(g.CoV())
+		mreg.Gauge("fel_core_group_size", gl).Set(float64(g.Size()))
 	}
 
 	// Push the assignment: one GroupAssign per group to its edge, then a
@@ -145,6 +163,7 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 	start := time.Now()
 	bytesMark := c.meter.Written()
 	for t := 0; t < cfg.GlobalRounds; t++ {
+		roundSpan := c.meter.Registry().Start("fel_fednode_round_seconds", metrics.L("role", "cloud"))
 		var selected []int
 		if cfg.FixedSelection != nil {
 			selected = cfg.FixedSelection[t]
@@ -162,6 +181,10 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 		}
 		if len(selected) == 0 {
 			return nil, fmt.Errorf("fednode: round %d selected no groups", t)
+		}
+		mreg.Counter("fel_core_rounds_total").Inc()
+		for _, gi := range selected {
+			mreg.Counter("fel_core_group_selected_total", metrics.L("group", strconv.Itoa(groups[gi].ID))).Inc()
 		}
 
 		// Broadcast the global model with each edge's share of the
@@ -265,6 +288,7 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 		rep.RoundsRun = t + 1
 		rep.Dropouts += stat.Dropouts
 		rep.Recoveries += stat.Recoveries
+		roundSpan.End()
 		c.logf("cloud: round %d done: acc=%.4f dropouts=%d recoveries=%d bytes=%d",
 			t, stat.Accuracy, stat.Dropouts, stat.Recoveries, stat.WireBytes)
 	}

@@ -1,11 +1,13 @@
 package fednode
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/secagg"
 	"repro/internal/wire"
 )
@@ -24,10 +26,13 @@ type Edge struct {
 }
 
 // NewEdge prepares edge server id (an index into sys.Edges). meter may be
-// nil.
+// nil (falls back to cfg.Meter, then to a fresh private meter).
 func NewEdge(id int, sys *core.System, cfg JobConfig, meter *Meter) *Edge {
 	if meter == nil {
-		meter = &Meter{}
+		meter = cfg.Meter
+	}
+	if meter == nil {
+		meter = NewMeter(nil)
 	}
 	return &Edge{id: id, sys: sys, cfg: cfg.withDefaults(), meter: meter}
 }
@@ -63,7 +68,7 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 		return fmt.Errorf("fednode: edge id %d out of range [0,%d)", e.id, len(e.sys.Edges))
 	}
 
-	rawCloud, err := dialRetry(nw, cloudAddr, cfg.DialAttempts, cfg.DialBackoff)
+	rawCloud, err := dialRetry(nw, cloudAddr, cfg.DialAttempts, cfg.DialBackoff, e.meter)
 	if err != nil {
 		return err
 	}
@@ -86,7 +91,7 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 		}
 	}()
 	for len(clientConns) < len(mine) {
-		raw, err := acceptRetry(ln, cfg.DialAttempts, cfg.DialBackoff)
+		raw, err := acceptRetry(ln, cfg.DialAttempts, cfg.DialBackoff, e.meter)
 		if err != nil {
 			return fmt.Errorf("fednode: edge %d accept: %w", e.id, err)
 		}
@@ -229,6 +234,7 @@ func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lock
 	roundDrops, roundRecov := 0, 0
 
 	for k := 0; k < cfg.GroupRounds; k++ {
+		kSpan := e.meter.Registry().Start("fel_fednode_group_round_seconds", metrics.L("role", "edge"))
 		run := &groupRun{gid: g.gid, round: t, k: k, logf: cfg.Logf}
 		if err := run.to(phaseBroadcast); err != nil {
 			return err
@@ -296,6 +302,7 @@ func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lock
 				}
 				groupParams = plain[0]
 			}
+			kSpan.End()
 			continue
 		}
 
@@ -314,6 +321,7 @@ func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lock
 				return err
 			}
 			roundRecov++
+			e.meter.recoveries.Inc()
 		}
 
 		if err := run.to(phaseAggregate); err != nil {
@@ -323,6 +331,7 @@ func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lock
 		if err != nil {
 			return fmt.Errorf("fednode: group %d round %d.%d aggregate: %w", g.gid, t, k, err)
 		}
+		sess.PublishOps(e.meter.Registry())
 		if len(dropped) > 0 {
 			// Dropout renormalization: rescale so the surviving members'
 			// n_i/n_g weights sum to one (the hfl convention).
@@ -340,6 +349,7 @@ func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lock
 			}
 		}
 		groupParams = sum
+		kSpan.End()
 	}
 
 	run := &groupRun{gid: g.gid, round: t, k: cfg.GroupRounds, logf: cfg.Logf, state: phaseAggregate}
@@ -355,10 +365,17 @@ func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lock
 	return cloud.send(e.meter, out, cfg.RoundTimeout)
 }
 
-// markDead retires a member's connection after a drop.
+// markDead retires a member's connection after a drop, tallying the
+// dropout — and, when the cause was a deadline rather than a broken
+// connection, the straggler timeout — in the meter.
 func (e *Edge) markDead(g *edgeGroup, i int, cause error) {
 	g.dead[i] = true
 	closeQuiet(g.conns[i])
+	e.meter.dropouts.Inc()
+	var ne net.Error
+	if errors.As(cause, &ne) && ne.Timeout() {
+		e.meter.stragglers.Inc()
+	}
 	e.logf("edge %d: client %d dropped from group %d: %v", e.id, g.members[i], g.gid, cause)
 }
 

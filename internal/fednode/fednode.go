@@ -20,6 +20,15 @@
 // same grouping/sampling/secagg substrates; simnet remains the source of
 // *modeled* link times, while this package reports measured wall-clock and
 // bytes on the wire.
+//
+// Observability runs through the Meter, a thin façade over an
+// internal/metrics registry: per-message-type frame and byte counters
+// (fel_wire_*), raw transport bytes and connection retries (fel_net_*),
+// dropout/recovery/straggler tallies and per-role phase spans
+// (fel_fednode_*), and the secure-aggregation op counters each session
+// publishes (fel_secagg_*). Pass a Meter via JobConfig.Meter — or let
+// RunJob create a private one — and read Meter.Registry().Snapshot(), or
+// serve it live with cmd/felnode's -metrics flag.
 package fednode
 
 import (
@@ -104,6 +113,12 @@ type JobConfig struct {
 	ForceDrop *ForcedDrop
 	// Logf, when non-nil, receives protocol trace lines.
 	Logf func(format string, args ...any)
+	// Meter, when non-nil, is the shared observability sink for every node
+	// this process runs: RunJob threads it through the whole loopback
+	// cluster, and Meter.Registry() exposes the counters for snapshots,
+	// felbench JSON dumps, and the felnode -metrics HTTP endpoint. Nil
+	// means each entry point creates a private meter.
+	Meter *Meter
 }
 
 // withDefaults fills zero-valued tuning knobs.
@@ -286,8 +301,7 @@ func sendFrame(conn net.Conn, m *Meter, msg *wire.Message, timeout time.Duration
 		return fmt.Errorf("fednode: send %s: %w", msg.Type, err)
 	}
 	if m != nil {
-		m.frames.Add(1)
-		m.accounted.Add(int64(n))
+		m.countFrame(msg.Type, n)
 	}
 	return nil
 }

@@ -24,7 +24,10 @@ func RunJob(nw Network, sys *core.System, cfg JobConfig, listenAddr string) (*Re
 	if len(sys.Edges) == 0 {
 		return nil, fmt.Errorf("fednode: system has no edges")
 	}
-	m := &Meter{}
+	m := cfg.Meter
+	if m == nil {
+		m = NewMeter(nil)
+	}
 
 	cloudLn, err := nw.Listen(listenAddr)
 	if err != nil {

@@ -1,0 +1,186 @@
+package fednode
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/grouping"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// oneEdgeSystem builds a population whose clients all live on one edge, so
+// a single grouping.NewGroup over sys.Edges[0] is a complete assignment.
+func oneEdgeSystem(numClients int, seed uint64) *core.System {
+	gen := data.FlatConfig(4, 10, seed)
+	gen.Noise = 0.8
+	return core.NewSystem(core.SystemConfig{
+		Generator: gen,
+		Partition: data.PartitionConfig{
+			NumClients: numClients, Alpha: 0.5,
+			MinSamples: 10, MaxSamples: 40, MeanSamples: 25, StdSamples: 8,
+			Seed: seed + 1,
+		},
+		NumEdges: 1,
+		TestSize: 100,
+		NewModel: func(s uint64) *nn.Sequential {
+			return nn.NewMLP(10, []int{8}, 4, s)
+		},
+		ModelSeed: 7,
+	})
+}
+
+// TestWireCountersMatchCodec runs a seeded loopback job with an external
+// registry and asserts the per-message-type fel_wire_* counters sum to
+// exactly the Report's codec-accounted totals — which the existing
+// cross-check ties to the transport bytes that actually moved.
+func TestWireCountersMatchCodec(t *testing.T) {
+	sys := testSystem(10, 3)
+	jcfg := testJobConfig()
+	jcfg.GlobalRounds = 2
+	reg := metrics.New()
+	jcfg.Meter = NewMeter(reg)
+	rep, err := RunJob(NewMemNetwork(), sys, jcfg, "")
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if rep.WireWritten != rep.AccountedBytes {
+		t.Fatalf("transport wrote %d bytes but codec accounted %d", rep.WireWritten, rep.AccountedBytes)
+	}
+	var byteSum, frameSum int64
+	for typ := wire.GlobalModel; typ <= wire.GlobalAggregate; typ++ {
+		tl := metrics.L("type", typ.String())
+		byteSum += reg.CounterValue("fel_wire_bytes_total", tl)
+		frameSum += reg.CounterValue("fel_wire_frames_total", tl)
+	}
+	if byteSum != rep.AccountedBytes {
+		t.Fatalf("per-type byte counters sum to %d, report accounted %d", byteSum, rep.AccountedBytes)
+	}
+	if frameSum != rep.Frames {
+		t.Fatalf("per-type frame counters sum to %d, report counted %d", frameSum, rep.Frames)
+	}
+	if byteSum != reg.CounterValue("fel_net_written_bytes_total") {
+		t.Fatalf("accounted %d bytes but transport counter saw %d", byteSum, reg.CounterValue("fel_net_written_bytes_total"))
+	}
+	for _, typ := range []wire.Type{wire.GlobalModel, wire.GroupAssign, wire.MaskedUpdate, wire.GroupAggregate, wire.GlobalAggregate} {
+		if reg.CounterValue("fel_wire_frames_total", metrics.L("type", typ.String())) == 0 {
+			t.Fatalf("no %s frames counted on a full job", typ)
+		}
+	}
+	if n := reg.CounterValue("fel_wire_frames_total", metrics.L("type", wire.ShareReveal.String())); n != 0 {
+		t.Fatalf("clean run counted %d ShareReveal frames", n)
+	}
+}
+
+// TestSecaggOpsQuadratic pins the O_g(|g|) = O(|g|^2) secure-aggregation
+// overhead (Eq. 5 / Fig. 8) through the published metrics: on a clean
+// (T=1, K=1) run over a single group of size n, the n client sessions
+// expand n mask streams each and the edge session removes n personal
+// masks, so fel_secagg_mask_streams_total{gs="n"} must be exactly n^2+n.
+func TestSecaggOpsQuadratic(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		sys := oneEdgeSystem(n, 21)
+		jcfg := testJobConfig()
+		jcfg.GlobalRounds, jcfg.GroupRounds = 1, 1
+		jcfg.Groups = []*grouping.Group{grouping.NewGroup(0, 0, sys.Edges[0], sys.Classes)}
+		jcfg.FixedSelection = [][]int{{0}}
+		reg := metrics.New()
+		jcfg.Meter = NewMeter(reg)
+		if _, err := RunJob(NewMemNetwork(), sys, jcfg, ""); err != nil {
+			t.Fatalf("RunJob (n=%d): %v", n, err)
+		}
+		gs := metrics.L("gs", strconv.Itoa(n))
+		want := int64(n*n + n)
+		if got := reg.CounterValue("fel_secagg_mask_streams_total", gs); got != want {
+			t.Fatalf("group size %d expanded %d mask streams, want %d", n, got, want)
+		}
+		if got := reg.CounterValue("fel_secagg_shares_dealt_total", gs); got == 0 {
+			t.Fatalf("group size %d dealt no shares", n)
+		}
+	}
+}
+
+// TestDropoutMetricsMatchReport injects the mid-round disconnect from
+// TestMidRoundDisconnectRecovers and asserts the fel_fednode_* counters
+// agree with the Report: one dropout, a recovery per remaining group round
+// of the wounded group, revealed shares — and no straggler timeouts, since
+// a closed pipe is a connection error, not a missed deadline.
+func TestDropoutMetricsMatchReport(t *testing.T) {
+	sys := testSystem(12, 5)
+	jcfg := testJobConfig()
+	jcfg.GlobalRounds = 2
+	jcfg.StragglerTimeout = 2 * time.Second
+	groups := grouping.FormAll(jcfg.Grouping, sys.Edges, sys.Classes, stats.NewRNG(jcfg.Seed).Split(1))
+	var target *grouping.Group
+	for _, g := range groups {
+		if g.Size() >= 3 {
+			target = g
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no group with >= 3 clients")
+	}
+	sel := make([]int, len(groups))
+	for i := range groups {
+		sel[i] = i
+	}
+	jcfg.Groups = groups
+	jcfg.FixedSelection = [][]int{sel, sel}
+	jcfg.ForceDrop = &ForcedDrop{Client: target.Clients[0].ID, Round: 0, GroupRound: 0}
+	reg := metrics.New()
+	jcfg.Meter = NewMeter(reg)
+
+	rep, err := RunJob(NewMemNetwork(), sys, jcfg, "")
+	if err != nil {
+		t.Fatalf("RunJob with disconnect: %v", err)
+	}
+	if got := reg.CounterValue("fel_fednode_dropouts_total"); got != int64(rep.Dropouts) {
+		t.Fatalf("dropout counter %d, report %d", got, rep.Dropouts)
+	}
+	if got := reg.CounterValue("fel_fednode_recoveries_total"); got != int64(rep.Recoveries) {
+		t.Fatalf("recovery counter %d, report %d", got, rep.Recoveries)
+	}
+	if got := reg.CounterValue("fel_fednode_shares_revealed_total"); got == 0 {
+		t.Fatal("recovery ran but no shares were counted as revealed")
+	}
+	if got := reg.CounterValue("fel_wire_frames_total", metrics.L("type", wire.ShareReveal.String())); got == 0 {
+		t.Fatal("recovery ran but no ShareReveal frames were counted")
+	}
+	if got := reg.CounterValue("fel_fednode_straggler_timeouts_total"); got != 0 {
+		t.Fatalf("closed-pipe drop counted %d straggler timeouts", got)
+	}
+}
+
+// TestJobSnapshotDeterministic runs the same seeded loopback job twice on
+// fresh registries and requires the timing-masked snapshots to be
+// byte-identical — the determinism contract the trace tables and the
+// felbench JSON dumps rely on.
+func TestJobSnapshotDeterministic(t *testing.T) {
+	snap := func() string {
+		sys := testSystem(10, 3)
+		jcfg := testJobConfig()
+		jcfg.GlobalRounds = 2
+		reg := metrics.New()
+		jcfg.Meter = NewMeter(reg)
+		if _, err := RunJob(NewMemNetwork(), sys, jcfg, ""); err != nil {
+			t.Fatalf("RunJob: %v", err)
+		}
+		return metrics.MaskTimings(reg.Snapshot())
+	}
+	a, b := snap(), snap()
+	if a != b {
+		t.Fatalf("masked snapshots differ between identical seeded runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	for _, want := range []string{"fel_wire_bytes_total", "fel_net_written_bytes_total", "fel_fednode_round_seconds_count", "fel_secagg_mask_streams_total", "fel_core_group_selected_total", "fel_core_group_prob"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("snapshot is missing %s:\n%s", want, a)
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 // Network abstracts how nodes reach each other: real TCP in production,
@@ -116,30 +118,83 @@ type memAddr string
 func (a memAddr) Network() string { return "mem" }
 func (a memAddr) String() string  { return string(a) }
 
-// Meter accumulates transport-level byte and frame counts across every
-// connection of a job. In a loopback run a single Meter sees all nodes, so
-// Written (transport bytes that left a socket) can be cross-checked against
-// Accounted (the sum of wire.Message.EncodedSize at every send site): the
-// two must agree exactly on a clean run, proving the codec's accounting
-// matches what actually moved.
+// Meter aggregates a job's transport-level observability into a metrics
+// registry: per-message-type frame and byte counters (fel_wire_*, indexed
+// by wire.Type), raw transport read/write bytes (fel_net_*), connection
+// retries, and the protocol layer's dropout/recovery/straggler tallies
+// (fel_fednode_*). In a loopback run a single Meter sees all nodes, so
+// Written (transport bytes that left a socket) can be cross-checked
+// against Accounted (the sum of wire.Message.EncodedSize at every send
+// site): the two must agree exactly on a clean run, proving the codec's
+// accounting matches what actually moved.
 type Meter struct {
-	written   atomic.Int64
-	read      atomic.Int64
-	frames    atomic.Int64
-	accounted atomic.Int64
+	reg *metrics.Registry
+
+	written, read              *metrics.Counter
+	dialRetries, acceptRetries *metrics.Counter
+	dropouts, recoveries       *metrics.Counter
+	stragglers                 *metrics.Counter
+	frames, bytes              [int(wire.GlobalAggregate) + 1]*metrics.Counter
+}
+
+// NewMeter wires a meter into reg; nil gets a fresh private registry. The
+// counters are registered eagerly, so a snapshot of an idle job already
+// shows the full fel_net_/fel_wire_/fel_fednode_ schema at zero.
+func NewMeter(reg *metrics.Registry) *Meter {
+	if reg == nil {
+		reg = metrics.New()
+	}
+	m := &Meter{
+		reg:           reg,
+		written:       reg.Counter("fel_net_written_bytes_total"),
+		read:          reg.Counter("fel_net_read_bytes_total"),
+		dialRetries:   reg.Counter("fel_net_dial_retries_total"),
+		acceptRetries: reg.Counter("fel_net_accept_retries_total"),
+		dropouts:      reg.Counter("fel_fednode_dropouts_total"),
+		recoveries:    reg.Counter("fel_fednode_recoveries_total"),
+		stragglers:    reg.Counter("fel_fednode_straggler_timeouts_total"),
+	}
+	for t := wire.GlobalModel; t <= wire.GlobalAggregate; t++ {
+		tl := metrics.L("type", t.String())
+		m.frames[t] = reg.Counter("fel_wire_frames_total", tl)
+		m.bytes[t] = reg.Counter("fel_wire_bytes_total", tl)
+	}
+	return m
+}
+
+// Registry exposes the meter's backing registry for snapshots, tables,
+// and the -metrics HTTP endpoint. Never nil.
+func (m *Meter) Registry() *metrics.Registry { return m.reg }
+
+// countFrame records one sent frame of type t carrying n accounted bytes.
+func (m *Meter) countFrame(t wire.Type, n int) {
+	m.frames[t].Inc()
+	m.bytes[t].Add(int64(n))
 }
 
 // Written returns the total bytes written to metered conns.
-func (m *Meter) Written() int64 { return m.written.Load() }
+func (m *Meter) Written() int64 { return m.written.Value() }
 
 // Read returns the total bytes read from metered conns.
-func (m *Meter) Read() int64 { return m.read.Load() }
+func (m *Meter) Read() int64 { return m.read.Value() }
 
 // Frames returns the number of frames sent through sendFrame.
-func (m *Meter) Frames() int64 { return m.frames.Load() }
+func (m *Meter) Frames() int64 {
+	var n int64
+	for t := wire.GlobalModel; t <= wire.GlobalAggregate; t++ {
+		n += m.frames[t].Value()
+	}
+	return n
+}
 
 // Accounted returns the codec-accounted bytes of all frames sent.
-func (m *Meter) Accounted() int64 { return m.accounted.Load() }
+func (m *Meter) Accounted() int64 {
+	var n int64
+	for t := wire.GlobalModel; t <= wire.GlobalAggregate; t++ {
+		n += m.bytes[t].Value()
+	}
+	return n
+}
 
 // meteredConn counts transport bytes through a net.Conn.
 type meteredConn struct {
@@ -168,11 +223,15 @@ func meter(conn net.Conn, m *Meter) net.Conn {
 // startup races of a distributed launch (an edge dialing the cloud before
 // its listener is up) and transient refusals. The backoff schedule is fixed
 // — no randomized jitter — so runs replay deterministically apart from
-// wall-clock time.
-func dialRetry(nw Network, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+// wall-clock time. Retries land in m's fel_net_dial_retries_total (m may
+// be nil).
+func dialRetry(nw Network, addr string, attempts int, backoff time.Duration, m *Meter) (net.Conn, error) {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			if m != nil {
+				m.dialRetries.Inc()
+			}
 			time.Sleep(backoff)
 			if backoff < time.Second {
 				backoff *= 2
@@ -188,11 +247,15 @@ func dialRetry(nw Network, addr string, attempts int, backoff time.Duration) (ne
 }
 
 // acceptRetry accepts one connection, retrying transient (timeout-class)
-// failures with bounded backoff; any other error is fatal.
-func acceptRetry(ln net.Listener, attempts int, backoff time.Duration) (net.Conn, error) {
+// failures with bounded backoff; any other error is fatal. Retries land in
+// m's fel_net_accept_retries_total (m may be nil).
+func acceptRetry(ln net.Listener, attempts int, backoff time.Duration, m *Meter) (net.Conn, error) {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			if m != nil {
+				m.acceptRetries.Inc()
+			}
 			time.Sleep(backoff)
 			if backoff < time.Second {
 				backoff *= 2

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler serves a registry's live introspection surface:
+//
+//	/metrics      the deterministic text snapshot (Prometheus exposition)
+//	/debug/vars   expvar JSON (Go runtime memstats plus published vars)
+//	/debug/pprof  the standard pprof index (CPU, heap, goroutines, ...)
+//
+// cmd/felnode mounts this behind its -metrics flag.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := io.WriteString(w, r.Snapshot()); err != nil {
+			return // client hung up mid-response; nothing to clean up
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if _, err := io.WriteString(w, indexPage); err != nil {
+			return // client hung up; nothing to clean up
+		}
+	})
+	return mux
+}
+
+const indexPage = `<html><body><h1>felnode observability</h1><ul>
+<li><a href="/metrics">/metrics</a> &mdash; deterministic text snapshot</li>
+<li><a href="/debug/vars">/debug/vars</a> &mdash; expvar JSON</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> &mdash; profiles</li>
+</ul></body></html>
+`
+
+// publishMu serializes PublishExpvar against itself: expvar.Publish panics
+// on duplicate names, so the existence check must be atomic with the
+// publish.
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry's JSON document as the expvar
+// variable name (visible under /debug/vars). Publishing the same name
+// twice is a no-op, so repeated setup inside one process is safe.
+func PublishExpvar(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		data, err := r.JSON()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return v
+	}))
+}

@@ -2,7 +2,9 @@ package secagg
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -43,7 +45,8 @@ type Session struct {
 	selfShares  [][]Share // selfShares[i] held by the group
 	keyShares   [][]Share // shares of s_i (here: of the session-pair seeds' base)
 
-	ops OpCounts
+	ops       OpCounts
+	published OpCounts // high-water mark of counts already flushed by PublishOps
 }
 
 // NewSession prepares a secure aggregation session. threshold is the Shamir
@@ -247,3 +250,25 @@ func (s *Session) collectShares(all []Share, isDropped []bool) []Share {
 
 // Ops returns the accumulated operation counts.
 func (s *Session) Ops() OpCounts { return s.ops }
+
+// PublishOps flushes the operation counts accumulated since the previous
+// PublishOps call into reg's fel_secagg_* counters, labeled with the group
+// size so snapshots expose the quadratic O_g(|g|) cost shape (Eq. 5 /
+// Fig. 8) directly: on a clean round the per-session mask-stream count is
+// n(n−1) pairwise + n personal at masking time plus n personal removals at
+// aggregation time — n²+n total. The delta bookkeeping makes the method
+// safe to call at several protocol points (client-side after MaskedUpdate,
+// edge-side after Aggregate) without double counting. reg may be nil.
+func (s *Session) PublishOps(reg *metrics.Registry) {
+	d := s.ops
+	d.MaskStreams -= s.published.MaskStreams
+	d.SharesDealt -= s.published.SharesDealt
+	d.SharesUsed -= s.published.SharesUsed
+	d.FieldOps -= s.published.FieldOps
+	s.published = s.ops
+	gs := metrics.L("gs", strconv.Itoa(s.N))
+	reg.Counter("fel_secagg_mask_streams_total", gs).Add(int64(d.MaskStreams))
+	reg.Counter("fel_secagg_shares_dealt_total", gs).Add(int64(d.SharesDealt))
+	reg.Counter("fel_secagg_shares_used_total", gs).Add(int64(d.SharesUsed))
+	reg.Counter("fel_secagg_field_ops_total", gs).Add(int64(d.FieldOps))
+}

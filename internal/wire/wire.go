@@ -21,7 +21,10 @@
 // an oversized frame, a checksum mismatch, a truncated stream, or a payload
 // whose declared vector lengths do not exactly consume it are all distinct
 // errors — nothing is silently repaired. EncodedSize is exact, so callers
-// can account bytes-on-the-wire without hitting the socket.
+// can account bytes-on-the-wire without hitting the socket; internal/fednode
+// feeds it into the per-message-type fel_wire_frames_total and
+// fel_wire_bytes_total counters (internal/metrics), whose sum a clean run's
+// tests pin to the transport byte count exactly.
 package wire
 
 import (
