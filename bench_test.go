@@ -10,12 +10,15 @@
 package groupfel_test
 
 import (
+	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/grouping"
 	"repro/internal/hfl"
+	"repro/internal/sampling"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -47,6 +50,44 @@ func sanitizeMetric(s string) string {
 		}
 	}
 	return string(out)
+}
+
+// BenchmarkTrainSmall times the training engine end to end at the Small
+// scale: "serial" pins MaxParallel=1 (the reference schedule), "parallel"
+// uses GOMAXPROCS workers. Both schedules produce bit-identical parameters
+// (see core's replay tests); the interesting delta here is ns/op and
+// allocs/op. `felbench -bench` records the same comparison as
+// BENCH_core.json.
+func BenchmarkTrainSmall(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		maxParallel int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sc := benchScale()
+			sys := sc.NewSystem(experiments.CIFAR, 0.2, benchSeed)
+			cfg := sc.BaseConfig(experiments.CIFAR, benchSeed)
+			cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MaxCoV: sc.MaxCoV, MergeLeftover: true}}
+			cfg.Sampling = sampling.ESRCoV
+			cfg.Weights = sampling.Biased
+			cfg.MaxParallel = mode.maxParallel
+			cfg.EvalEvery = cfg.GlobalRounds // time training, not evaluation
+			for _, c := range sys.Clients {
+				sys.ClientBatch(c) // warm the batch cache outside the timer
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				res = core.Train(sys, cfg)
+			}
+			b.ReportMetric(res.FinalAccuracy, "final_acc")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
 }
 
 // BenchmarkFig2a regenerates Fig. 2(a): group overheads vs size.

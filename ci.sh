@@ -11,9 +11,11 @@
 #                        and the GOMAXPROCS replay determinism test)
 #   5. go test -race   — race detector over the concurrency-bearing
 #                        packages (tensor matmul fan-out, core parallel
-#                        group training, simnet event loop, wire codec,
-#                        fednode cloud/edge/client servers, metrics
-#                        registry)
+#                        training engine incl. the worker pool, pooled
+#                        group spaces, and SCAFFOLD's shared state
+#                        (TestEngineWorkerPoolRace), simnet event loop,
+#                        wire codec, fednode cloud/edge/client servers,
+#                        metrics registry)
 #   6. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
 #                        (2 edges × 12 clients × 2 rounds), which also
 #                        cross-checks accuracy against the in-process

@@ -7,9 +7,15 @@
 //	felbench -list
 //	felbench -exp fig9 -scale small -seed 7
 //	felbench -exp all -scale medium -out results/
+//	felbench -bench -out results/
+//
+// -bench times the training engine serial (MaxParallel=1) vs parallel
+// (GOMAXPROCS workers) on the selected scale, checks the two schedules
+// produce bit-identical parameters, and writes BENCH_core.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +37,40 @@ func idList() string {
 	return b.String()
 }
 
+// runCoreBench runs the serial-vs-parallel engine benchmark and writes
+// BENCH_core.json into dir (current directory when empty).
+func runCoreBench(sc experiments.Scale, seed uint64, dir string) {
+	fmt.Printf("=== core engine bench (scale=%s seed=%d) ===\n", sc.Name, seed)
+	res := experiments.CoreBench(sc, seed)
+	fmt.Printf("serial:   %.0f ns/round, %.0f allocs/round\n", res.SerialNsPerRound, res.SerialAllocsPerRound)
+	fmt.Printf("parallel: %.0f ns/round, %.0f allocs/round (GOMAXPROCS=%d)\n",
+		res.ParallelNsPerRound, res.ParallelAllocsPerRound, res.GoMaxProcs)
+	fmt.Printf("speedup:  %.2fx, bit-identical: %v\n", res.Speedup, res.BitIdentical)
+	if !res.BitIdentical {
+		fmt.Fprintln(os.Stderr, "felbench: serial and parallel runs diverged — determinism contract broken")
+		os.Exit(1)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "felbench:", err)
+			os.Exit(1)
+		}
+	} else {
+		dir = "."
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "felbench:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, "BENCH_core.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "felbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}
+
 func main() {
 	var (
 		exp   = flag.String("exp", "", "experiment id (see -list), comma list, or 'all'")
@@ -38,11 +78,21 @@ func main() {
 		seed  = flag.Uint64("seed", 2024, "random seed")
 		out   = flag.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+		bench = flag.Bool("bench", false, "benchmark the training engine (serial vs parallel) and write BENCH_core.json")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(idList())
+		return
+	}
+	if *bench {
+		sc, err := experiments.ScaleByName(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "felbench:", err)
+			os.Exit(2)
+		}
+		runCoreBench(sc, *seed, *out)
 		return
 	}
 	if *exp == "" {

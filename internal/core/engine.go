@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/grouping"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// engine is the deterministic parallel training core behind Train: a bounded
+// pool of workers (one model clone + SGD arena each) fans client training out
+// across goroutines while keeping every result bit-for-bit identical to the
+// serial schedule at any MaxParallel.
+//
+// The determinism contract rests on four rules:
+//
+//  1. Every client's RNG is derived from (seed, round, group, client), never
+//     from which worker runs it, and each worker's model is fully overwritten
+//     (SetParamVector) before training, so worker identity cannot leak into
+//     results.
+//  2. Dropout decisions are pre-drawn serially in client order from the
+//     group's dropout RNG — the exact draw sequence of the serial loop —
+//     before any goroutine starts.
+//  3. Each client writes its trained parameters into its own indexed slot;
+//     no shared accumulator is touched concurrently.
+//  4. The weighted reduction over slots runs serially in fixed client order,
+//     so floating-point summation order never depends on scheduling.
+//
+// Workers are created lazily up to max and recycled through a free list, so
+// the steady state allocates nothing: models reuse their layer buffers
+// (EnableBufferReuse), SGD scratch lives in per-worker arenas, and group
+// aggregation buffers are pooled groupSpaces.
+type engine struct {
+	sys   *System
+	cfg   Config
+	local LocalUpdater
+	comp  *compressorPool
+	max   int
+
+	mu      sync.Mutex
+	created int
+	free    chan *worker
+
+	spaces sync.Pool
+
+	reg        *metrics.Registry
+	epochsCtr  *metrics.Counter
+	dropsCtr   *metrics.Counter
+	edgeLabels map[int]metrics.Label
+}
+
+// worker is one pool slot: a private model clone with buffer reuse enabled
+// and the SGD scratch arena, plus a delta buffer for the compression path.
+type worker struct {
+	model *nn.Sequential
+	arena *sgdArena
+	delta []float64
+}
+
+// groupSpace holds one group's aggregation state for a global round: the
+// evolving group parameters, per-client result slots (views into one flat
+// backing array), the weighted-sum accumulator, pre-drawn dropout flags, and
+// per-client uplink byte counts. Spaces are pooled on the engine and stay
+// checked out until the global aggregation has consumed group.
+type groupSpace struct {
+	group  []float64
+	sum    []float64
+	flat   []float64
+	slots  [][]float64
+	drop   []bool
+	cbytes []int64
+	drops  int
+	bytes  int64
+}
+
+// newEngine builds the training engine for one run. MaxParallel <= 0 follows
+// GOMAXPROCS; MaxParallel == 1 is the serial reference path (no goroutines,
+// one worker, zero synchronization overhead).
+func newEngine(sys *System, cfg Config, local LocalUpdater, comp *compressorPool) *engine {
+	max := cfg.MaxParallel
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	e := &engine{
+		sys:        sys,
+		cfg:        cfg,
+		local:      local,
+		comp:       comp,
+		max:        max,
+		free:       make(chan *worker, max),
+		reg:        cfg.Metrics,
+		epochsCtr:  cfg.Metrics.Counter("fel_core_local_epochs_total"),
+		dropsCtr:   cfg.Metrics.Counter("fel_core_dropouts_total"),
+		edgeLabels: make(map[int]metrics.Label),
+	}
+	e.spaces.New = func() any { return &groupSpace{} }
+	return e
+}
+
+// acquire hands out a pooled worker, creating one lazily while fewer than
+// max exist, and blocking on the free list otherwise.
+func (e *engine) acquire() *worker {
+	select {
+	case w := <-e.free:
+		return w
+	default:
+	}
+	e.mu.Lock()
+	if e.created < e.max {
+		e.created++
+		e.mu.Unlock()
+		m := e.sys.NewModel(e.sys.ModelSeed)
+		m.EnableBufferReuse()
+		return &worker{model: m, arena: newSGDArena()}
+	}
+	e.mu.Unlock()
+	return <-e.free
+}
+
+func (e *engine) release(w *worker) { e.free <- w }
+
+// edgeLabel caches the metrics label for an edge so the per-group aggregation
+// span does not re-render strconv output every group round.
+func (e *engine) edgeLabel(edge int) metrics.Label {
+	e.mu.Lock()
+	l, ok := e.edgeLabels[edge]
+	if !ok {
+		l = metrics.L("edge", strconv.Itoa(edge))
+		e.edgeLabels[edge] = l
+	}
+	e.mu.Unlock()
+	return l
+}
+
+// getSpace checks a groupSpace out of the pool; putSpace returns it once the
+// caller has consumed sp.group.
+func (e *engine) getSpace() *groupSpace {
+	return e.spaces.Get().(*groupSpace)
+}
+
+func (e *engine) putSpace(sp *groupSpace) { e.spaces.Put(sp) }
+
+// reserve sizes the space for n clients of dim parameters, reusing backing
+// arrays across rounds.
+func (sp *groupSpace) reserve(n, dim int) {
+	sp.group = growFloats(sp.group, dim)
+	sp.sum = growFloats(sp.sum, dim)
+	if cap(sp.flat) < n*dim {
+		sp.flat = make([]float64, n*dim)
+	}
+	sp.flat = sp.flat[:n*dim]
+	if cap(sp.slots) < n {
+		sp.slots = make([][]float64, n)
+	}
+	sp.slots = sp.slots[:n]
+	for i := range sp.slots {
+		sp.slots[i] = sp.flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	if cap(sp.drop) < n {
+		sp.drop = make([]bool, n)
+		sp.cbytes = make([]int64, n)
+	}
+	sp.drop = sp.drop[:n]
+	sp.cbytes = sp.cbytes[:n]
+	sp.drops = 0
+	sp.bytes = 0
+}
+
+// forEachClient runs fn(0..n-1), inline when the engine is serial and on one
+// goroutine per client otherwise (each blocks on a pooled worker, so true
+// concurrency stays bounded by max). Panics are re-raised on the caller.
+func (e *engine) forEachClient(n int, fn func(i int)) {
+	if e.max == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(fmt.Sprintf("fel: client worker panic: %v", firstPanic))
+	}
+}
+
+// runGroup executes lines 8–14 of Alg. 1 for one selected group: K group
+// rounds, each training every member client for E local epochs from the
+// current group model, then weight-averaging by n_i over the clients whose
+// updates arrived (n_i/n_g when nothing drops). The returned space holds the
+// final group parameters in sp.group plus dropout and uplink accounting; the
+// caller returns it to the pool with putSpace once consumed.
+func (e *engine) runGroup(g *grouping.Group, globalParams []float64, round int) *groupSpace {
+	cfg := &e.cfg
+	dim := len(globalParams)
+	n := g.Size()
+	sp := e.getSpace()
+	sp.reserve(n, dim)
+	copy(sp.group, globalParams)
+
+	dropRng := stats.NewRNG(cfg.Seed ^ 0xd20b ^
+		(uint64(round+1) * 0xff51afd7ed558ccd) ^
+		(uint64(g.ID+1) * 0xc4ceb9fe1a85ec53))
+	roundBase := cfg.Seed ^
+		(uint64(round+1) * 0x9e3779b97f4a7c15) ^
+		(uint64(g.ID+1) * 0xc2b2ae3d27d4eb4f)
+
+	for k := 0; k < cfg.GroupRounds; k++ {
+		// Rule 2: the dropout draws happen serially in client order — the
+		// same Float64 sequence the serial loop consumes.
+		for i := range sp.drop {
+			sp.drop[i] = cfg.DropoutProb > 0 && dropRng.Float64() < cfg.DropoutProb
+		}
+		e.forEachClient(n, func(i int) {
+			c := g.Clients[i]
+			w := e.acquire()
+			defer e.release(w)
+			w.model.SetParamVector(sp.group)
+			x, y := e.sys.ClientBatch(c)
+			w.arena.rng.Reseed(roundBase ^ (uint64(c.ID+1) * 0x165667b19e3779f9))
+			ctx := LocalContext{
+				ClientID:  c.ID,
+				Anchor:    sp.group,
+				Epochs:    cfg.LocalEpochs,
+				BatchSize: cfg.BatchSize,
+				LR:        cfg.LR,
+				Rng:       w.arena.rng,
+				arena:     w.arena,
+			}
+			trainSpan := e.reg.Start("fel_core_local_train_seconds")
+			e.local.LocalTrain(w.model, x, y, ctx)
+			trainSpan.End()
+			e.epochsCtr.Add(int64(cfg.LocalEpochs))
+			sp.cbytes[i] = 0
+			if sp.drop[i] {
+				return
+			}
+			slot := w.model.ParamVectorInto(sp.slots[i])
+			if e.comp != nil {
+				// The client ships a compressed delta; the edge applies the
+				// decoded delta to its copy of the group model.
+				if cap(w.delta) < dim {
+					w.delta = make([]float64, dim)
+				}
+				w.delta = w.delta[:dim]
+				tensor.SubInto(slot, sp.group, w.delta)
+				enc := e.comp.forClient(c.ID).Compress(w.delta)
+				sp.cbytes[i] = int64(enc.Bytes())
+				tensor.AddInto(sp.group, enc.Decode(), slot)
+			} else {
+				sp.cbytes[i] = int64(8 * dim)
+			}
+		})
+		// Rules 3–4: reduce the indexed slots serially in client order.
+		aggSpan := e.reg.Start("fel_core_group_aggregate_seconds", e.edgeLabel(g.Edge))
+		clear(sp.sum)
+		wsum := 0.0
+		for i, c := range g.Clients {
+			if sp.drop[i] {
+				sp.drops++
+				continue
+			}
+			sp.bytes += sp.cbytes[i]
+			w := float64(c.NumSamples())
+			wsum += w
+			tensor.Axpy(w, sp.slots[i], sp.sum)
+		}
+		if wsum > 0 {
+			tensor.ScaleInto(1/wsum, sp.sum, sp.group)
+		}
+		// wsum == 0: every client dropped this group round; the group model
+		// carries over unchanged.
+		aggSpan.End()
+	}
+	return sp
+}

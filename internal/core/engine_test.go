@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+)
+
+// TestSGDEpochsSteadyStateAllocs locks in the zero-alloc hot path: once a
+// worker's arena and the model's reuse buffers are warm, an entire local
+// training pass (shuffle, batch fill incl. tail batch, forward, loss,
+// backward, SGD step) must not allocate.
+func TestSGDEpochsSteadyStateAllocs(t *testing.T) {
+	sys := testSystem(6, 0.5, 9)
+	model := sys.NewModel(sys.ModelSeed)
+	model.EnableBufferReuse()
+	arena := newSGDArena()
+	c := sys.Clients[0]
+	x, y := sys.ClientBatch(c)
+	if x.Shape[0]%7 == 0 {
+		t.Fatalf("client 0 has %d samples; pick a batch size that forces a tail batch", x.Shape[0])
+	}
+	ctx := LocalContext{
+		ClientID:  c.ID,
+		Epochs:    2,
+		BatchSize: 7, // deliberately misaligned so the tail-batch path runs
+		LR:        0.05,
+		Rng:       arena.rng,
+		arena:     arena,
+	}
+	run := func() {
+		arena.rng.Reseed(123)
+		sgdEpochs(model, x, y, ctx, nil)
+	}
+	run() // warm the arena and reuse buffers
+	if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+		t.Fatalf("sgdEpochs steady state allocates %.1f objects per pass, want 0", allocs)
+	}
+}
+
+// TestEvaluateParallelMatchesSerial pins Evaluate's chunked fan-out to the
+// serial reduction bit for bit.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	sys := testSystem(8, 0.5, 5)
+	model := sys.NewModel(sys.ModelSeed)
+	run := func(procs int) (float64, float64) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		// batch 16 forces many batches, so the parallel path really strides.
+		return Evaluate(model, sys.Test, 16)
+	}
+	accSerial, lossSerial := run(1)
+	accPar, lossPar := run(8)
+	if math.Float64bits(accSerial) != math.Float64bits(accPar) ||
+		math.Float64bits(lossSerial) != math.Float64bits(lossPar) {
+		t.Fatalf("parallel Evaluate diverged: acc %.17g vs %.17g, loss %.17g vs %.17g",
+			accPar, accSerial, lossPar, lossSerial)
+	}
+}
+
+// TestEngineWorkerPoolRace drives the full engine — worker pool, pooled
+// group spaces, compressor pool, SCAFFOLD's shared state — at high
+// parallelism so ci.sh's race stage (go test -race ./internal/core) can
+// catch any unsynchronized access.
+func TestEngineWorkerPoolRace(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	sys := testSystem(16, 0.5, 11)
+	cfg := testConfig()
+	cfg.GlobalRounds = 2
+	cfg.MaxParallel = 8
+	cfg.DropoutProb = 0.2
+	cfg.NewCompressor = func() compress.Compressor { return compress.NewTopK(16) }
+	cfg.Local = &ScaffoldUpdater{NumClients: 16}
+	res := Train(sys, cfg)
+	if res.RoundsRun != 2 {
+		t.Fatalf("ran %d rounds, want 2", res.RoundsRun)
+	}
+}
+
+// TestTrainParallelSpeedup checks the engine actually converts cores into
+// wall-clock on multi-core hosts. The threshold is deliberately loose
+// (scheduling noise, small model); the headline number lives in
+// BenchmarkTrainSmall and BENCH_core.json.
+func TestTrainParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4: no parallel speedup to measure", runtime.GOMAXPROCS(0))
+	}
+	run := func(maxParallel int) time.Duration {
+		sys := testSystem(32, 0.5, 3)
+		for _, c := range sys.Clients {
+			sys.ClientBatch(c) // warm the batch cache outside the timer
+		}
+		cfg := testConfig()
+		cfg.GlobalRounds = 4
+		cfg.SampleGroups = 8
+		cfg.MaxParallel = maxParallel
+		cfg.EvalEvery = cfg.GlobalRounds // eval only the final round
+		start := time.Now()
+		Train(sys, cfg)
+		return time.Since(start)
+	}
+	run(1) // warm caches and code paths
+	serial := run(1)
+	parallel := run(0)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, parallel %v, speedup %.2fx (GOMAXPROCS=%d)",
+		serial, parallel, speedup, runtime.GOMAXPROCS(0))
+	if speedup < 1.2 {
+		t.Errorf("parallel training speedup %.2fx < 1.2x at GOMAXPROCS=%d", speedup, runtime.GOMAXPROCS(0))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/nn"
@@ -23,6 +24,11 @@ type LocalContext struct {
 	// Rng drives batch shuffling, derived deterministically per
 	// (seed, round, group, client).
 	Rng *stats.RNG
+
+	// arena, when non-nil, supplies the worker's reusable SGD scratch
+	// buffers. The parallel engine sets it; external callers leave it nil
+	// and sgdEpochs falls back to a private arena.
+	arena *sgdArena
 }
 
 // LocalUpdater performs a client's local training (Alg. 1 lines 12–13),
@@ -36,21 +42,25 @@ type LocalUpdater interface {
 // sgdEpochs runs the shared mini-batch SGD loop, invoking adjust (if non-nil)
 // after each backward pass so variants can modify gradients before the
 // step. Returns the number of optimizer steps taken.
+//
+// All scratch state — shuffle order, the batch tensor, the tail batch for
+// n % bs leftovers, the loss-head probability buffer, the optimizer — comes
+// from the context's arena, so the steady-state loop allocates nothing.
 func sgdEpochs(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext, adjust func(model *nn.Sequential)) int {
 	n := x.Shape[0]
 	bs := ctx.BatchSize
 	if bs <= 0 || bs > n {
 		bs = n
 	}
-	opt := nn.NewSGD(ctx.LR)
-	var lossFn nn.SoftmaxCrossEntropy
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	a := ctx.arena
+	if a == nil {
+		a = newSGDArena()
 	}
+	a.opt.LR = ctx.LR
+	var lossFn nn.SoftmaxCrossEntropy
+	order := a.ensureOrder(n)
 	dim := x.Size() / n
-	bx := tensor.New(append([]int{bs}, x.Shape[1:]...)...)
-	by := make([]int, bs)
+	a.full.ensure(bs, x)
 	steps := 0
 	for e := 0; e < ctx.Epochs; e++ {
 		ctx.Rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -60,26 +70,26 @@ func sgdEpochs(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext
 				hi = n
 			}
 			cur := hi - lo
-			var xb *tensor.Tensor
-			var yb []int
-			if cur == bs {
-				xb, yb = bx, by
-			} else {
-				xb = tensor.New(append([]int{cur}, x.Shape[1:]...)...)
-				yb = make([]int, cur)
+			buf := &a.full
+			if cur != bs {
+				buf = &a.tail
+				buf.ensure(cur, x)
 			}
+			xb, yb := buf.x, buf.y
 			for bi := 0; bi < cur; bi++ {
 				src := order[lo+bi]
 				copy(xb.Data[bi*dim:(bi+1)*dim], x.Data[src*dim:(src+1)*dim])
 				yb[bi] = y[src]
 			}
 			logits := model.Forward(xb, true)
-			_, probs := lossFn.Forward(logits, yb)
-			model.Backward(lossFn.Backward(probs, yb))
+			probs := buf.ensureProbs(logits)
+			lossFn.ForwardInto(probs, logits, yb)
+			lossFn.BackwardInPlace(probs, yb)
+			model.Backward(probs)
 			if adjust != nil {
 				adjust(model)
 			}
-			opt.Step(model)
+			a.opt.Step(model)
 			steps++
 		}
 	}
@@ -133,44 +143,69 @@ func (p ProxUpdater) LocalTrain(model *nn.Sequential, x *tensor.Tensor, y []int,
 //
 // and the server variate absorbs the average drift of participating
 // clients at the end of every global round.
+//
+// Concurrency and determinism: the server variate is an immutable snapshot
+// replaced wholesale by FinishGlobalRound, so concurrent clients read it
+// through an RLock without cloning; each client's variate and pending drift
+// are owner-written only (group sampling is without replacement, so a client
+// trains in at most one goroutine per round). The drift fold at the end of
+// the round runs in ascending client-ID order, which keeps the whole scheme
+// bit-for-bit reproducible at any parallelism.
 type ScaffoldUpdater struct {
 	// NumClients scales the server variate update (the 1/N in SCAFFOLD).
 	NumClients int
 
-	mu      sync.Mutex
-	ci      map[int][]float64
-	c       []float64
-	deltaC  []float64
-	touched int
+	mu      sync.RWMutex
+	clients map[int]*scaffoldState
+	c       []float64 // server variate snapshot: replaced, never mutated
+	deltaC  []float64 // fold scratch, used only under the write lock
+}
+
+// scaffoldState is one client's control variate and its pending drift for
+// the current global round. Only the owning client's goroutine writes it.
+type scaffoldState struct {
+	ci      []float64
+	pending []float64
+	calls   int
 }
 
 // Name returns "SCAFFOLD".
 func (*ScaffoldUpdater) Name() string { return "SCAFFOLD" }
 
-// variates returns (copies of) the client and server control variates,
-// allocating zeros on first use.
-func (s *ScaffoldUpdater) variates(clientID, dim int) (ci, c []float64) {
+// state returns the client's variate state and the current server-variate
+// snapshot, allocating zeros on first use. The fast path is a shared RLock
+// with no copying — the snapshot discipline makes the references safe to
+// read for the rest of the local training pass.
+func (s *ScaffoldUpdater) state(clientID, dim int) (*scaffoldState, []float64) {
+	s.mu.RLock()
+	st := s.clients[clientID]
+	c := s.c
+	s.mu.RUnlock()
+	if st != nil && c != nil {
+		return st, c
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ci == nil {
-		s.ci = make(map[int][]float64)
+	if s.clients == nil {
+		s.clients = make(map[int]*scaffoldState)
 	}
 	if s.c == nil {
 		s.c = make([]float64, dim)
 		s.deltaC = make([]float64, dim)
 	}
-	if _, ok := s.ci[clientID]; !ok {
-		s.ci[clientID] = make([]float64, dim)
+	st = s.clients[clientID]
+	if st == nil {
+		st = &scaffoldState{ci: make([]float64, dim), pending: make([]float64, dim)}
+		s.clients[clientID] = st
 	}
-	ci = append([]float64(nil), s.ci[clientID]...)
-	c = append([]float64(nil), s.c...)
-	return ci, c
+	return st, s.c
 }
 
 // LocalTrain runs control-variate-corrected SGD and refreshes c_i.
 func (s *ScaffoldUpdater) LocalTrain(model *nn.Sequential, x *tensor.Tensor, y []int, ctx LocalContext) {
 	dim := model.NumParams()
-	ci, c := s.variates(ctx.ClientID, dim)
+	st, c := s.state(ctx.ClientID, dim)
+	ci := st.ci
 	start := model.ParamVector()
 	steps := sgdEpochs(model, x, y, ctx, func(m *nn.Sequential) {
 		grads := m.Grads()
@@ -186,39 +221,55 @@ func (s *ScaffoldUpdater) LocalTrain(model *nn.Sequential, x *tensor.Tensor, y [
 		return
 	}
 	end := model.ParamVector()
-	newCi := make([]float64, dim)
 	inv := 1 / (float64(steps) * ctx.LR)
 	for j := 0; j < dim; j++ {
-		newCi[j] = ci[j] - c[j] + (start[j]-end[j])*inv
+		newCi := ci[j] - c[j] + (start[j]-end[j])*inv
+		st.pending[j] += newCi - ci[j]
+		ci[j] = newCi
 	}
-	s.mu.Lock()
-	old := s.ci[ctx.ClientID]
-	for j := 0; j < dim; j++ {
-		s.deltaC[j] += newCi[j] - old[j]
-	}
-	s.ci[ctx.ClientID] = newCi
-	s.touched++
-	s.mu.Unlock()
+	st.calls++
 }
 
 // FinishGlobalRound folds the accumulated client drift into the server
 // variate: c += (participants/N)·mean(Δc_i). Called by Train once per
-// global round.
+// global round, after every group has joined. Clients fold in ascending ID
+// order and the snapshot is replaced atomically, so the update is identical
+// for any worker count.
 func (s *ScaffoldUpdater) FinishGlobalRound() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.touched == 0 || s.c == nil {
+	if s.c == nil {
 		return
+	}
+	ids := make([]int, 0, len(s.clients))
+	touched := 0
+	for id, st := range s.clients {
+		if st.calls > 0 {
+			ids = append(ids, id)
+			touched += st.calls
+		}
+	}
+	if touched == 0 {
+		return
+	}
+	sort.Ints(ids)
+	clear(s.deltaC)
+	for _, id := range ids {
+		st := s.clients[id]
+		tensor.Axpy(1, st.pending, s.deltaC)
+		clear(st.pending)
+		st.calls = 0
 	}
 	n := s.NumClients
 	if n <= 0 {
-		n = s.touched
+		n = touched
 	}
-	for j := range s.c {
-		s.c[j] += s.deltaC[j] / float64(n)
-		s.deltaC[j] = 0
+	next := make([]float64, len(s.c))
+	inv := 1 / float64(n)
+	for j := range next {
+		next[j] = s.c[j] + s.deltaC[j]*inv
 	}
-	s.touched = 0
+	s.c = next
 }
 
 // globalRoundFinisher is implemented by updaters that need a hook at the

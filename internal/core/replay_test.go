@@ -4,6 +4,8 @@ import (
 	"math"
 	"runtime"
 	"testing"
+
+	"repro/internal/compress"
 )
 
 // TestReplayBitIdenticalAcrossParallelism locks in the determinism contract
@@ -36,6 +38,44 @@ func TestReplayBitIdenticalAcrossParallelism(t *testing.T) {
 			if math.Float64bits(again[i]) != math.Float64bits(base[i]) {
 				t.Fatalf("GOMAXPROCS=%d: param %d differs: %x vs %x (%.17g vs %.17g)",
 					procs, i, math.Float64bits(again[i]), math.Float64bits(base[i]), again[i], base[i])
+			}
+		}
+	}
+}
+
+// TestReplayBitIdenticalAcrossMaxParallel extends the determinism contract
+// to the engine's intra-group client fan-out, with every stateful feature
+// that could break it switched on at once: client dropout (shared dropout
+// RNG per group), update compression (stateful per-client error feedback),
+// and SCAFFOLD (shared server variate + per-client drift folding). The
+// final weights must be bit-for-bit identical at any worker-pool size.
+func TestReplayBitIdenticalAcrossMaxParallel(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	run := func(maxParallel int) []float64 {
+		sys := testSystem(12, 0.5, 3)
+		cfg := testConfig()
+		cfg.GlobalRounds = 3
+		cfg.MaxParallel = maxParallel
+		cfg.DropoutProb = 0.25
+		cfg.NewCompressor = func() compress.Compressor { return compress.NewTopK(16) }
+		cfg.Local = &ScaffoldUpdater{NumClients: 12}
+		return Train(sys, cfg).Params
+	}
+
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("training produced no parameters")
+	}
+	for _, par := range []int{2, 8} {
+		again := run(par)
+		if len(again) != len(base) {
+			t.Fatalf("MaxParallel=%d: parameter count %d, want %d", par, len(again), len(base))
+		}
+		for i := range base {
+			if math.Float64bits(again[i]) != math.Float64bits(base[i]) {
+				t.Fatalf("MaxParallel=%d: param %d differs: %x vs %x (%.17g vs %.17g)",
+					par, i, math.Float64bits(again[i]), math.Float64bits(base[i]), again[i], base[i])
 			}
 		}
 	}

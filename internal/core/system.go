@@ -108,6 +108,10 @@ func (s *System) ClientBatch(c *data.Client) (*tensor.Tensor, []int) {
 
 // Evaluate computes accuracy and mean loss of model on ds, batching to
 // bound memory. batch <= 0 defaults to 256.
+//
+// Batches are scored in parallel across GOMAXPROCS model clones, each batch
+// writing into its own indexed slot; the final reduction runs in batch order,
+// so the result is bit-identical to a serial evaluation at any parallelism.
 func Evaluate(model *nn.Sequential, ds *data.Dataset, batch int) (acc, loss float64) {
 	if batch <= 0 {
 		batch = 256
@@ -116,30 +120,59 @@ func Evaluate(model *nn.Sequential, ds *data.Dataset, batch int) (acc, loss floa
 	if n == 0 {
 		return 0, 0
 	}
-	correct := 0
-	totalLoss := 0.0
+	nb := (n + batch - 1) / batch
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nb {
+		workers = nb
+	}
+	correct := make([]int, nb)
+	losses := make([]float64, nb)
 	var lossFn nn.SoftmaxCrossEntropy
-	idx := make([]int, 0, batch)
-	for lo := 0; lo < n; lo += batch {
-		hi := lo + batch
-		if hi > n {
-			hi = n
-		}
+	evalBatch := func(m *nn.Sequential, bi int, idx []int) []int {
+		lo := bi * batch
+		hi := min(lo+batch, n)
 		idx = idx[:0]
 		for i := lo; i < hi; i++ {
 			idx = append(idx, i)
 		}
 		x, y := ds.Batch(idx)
-		logits := model.Forward(x, false)
+		logits := m.Forward(x, false)
 		l, _ := lossFn.Forward(logits, y)
-		totalLoss += l * float64(len(idx))
+		losses[bi] = l * float64(hi-lo)
+		c := 0
 		for i, p := range nn.Predict(logits) {
 			if p == y[i] {
-				correct++
+				c++
 			}
 		}
+		correct[bi] = c
+		return idx
 	}
-	return float64(correct) / float64(n), totalLoss / float64(n)
+	if workers <= 1 {
+		idx := make([]int, 0, batch)
+		for bi := 0; bi < nb; bi++ {
+			idx = evalBatch(model, bi, idx)
+		}
+	} else {
+		models := make([]*nn.Sequential, workers)
+		models[0] = model
+		for w := 1; w < workers; w++ {
+			models[w] = model.Clone()
+		}
+		parallelEach(workers, workers, func(w int) {
+			idx := make([]int, 0, batch)
+			for bi := w; bi < nb; bi += workers {
+				idx = evalBatch(models[w], bi, idx)
+			}
+		})
+	}
+	tc := 0
+	tl := 0.0
+	for bi := 0; bi < nb; bi++ {
+		tc += correct[bi]
+		tl += losses[bi]
+	}
+	return float64(tc) / float64(n), tl / float64(n)
 }
 
 // parallelEach runs fn(0..n-1) across at most workers goroutines. workers

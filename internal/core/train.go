@@ -12,6 +12,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 // Config parameterizes one Group-FEL training run (Alg. 1 plus the cost
@@ -135,7 +136,8 @@ func Train(sys *System, cfg Config) *Result {
 	groups := grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(1))
 	probs := sampling.Probabilities(groups, cfg.Sampling)
 	reg := cfg.Metrics
-	publishSampling(reg, groups, probs)
+	selCtrs := publishSampling(reg, groups, probs)
+	roundsCtr := reg.Counter("fel_core_rounds_total")
 
 	totalSamples := 0
 	for _, c := range sys.Clients {
@@ -160,6 +162,9 @@ func Train(sys *System, cfg Config) *Result {
 	if cfg.NewCompressor != nil {
 		compressors = &compressorPool{factory: cfg.NewCompressor, byClient: make(map[int]compress.Compressor)}
 	}
+	eng := newEngine(sys, cfg, local, compressors)
+	var spaces []*groupSpace
+	next := make([]float64, len(globalParams))
 
 	sampleRng := rng.Split(2)
 	for t := 0; t < cfg.GlobalRounds; t++ {
@@ -171,7 +176,7 @@ func Train(sys *System, cfg Config) *Result {
 		if cfg.RegroupEvery > 0 && t > 0 && t%cfg.RegroupEvery == 0 {
 			groups = grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(uint64(100+t)))
 			probs = sampling.Probabilities(groups, cfg.Sampling)
-			publishSampling(reg, groups, probs)
+			selCtrs = publishSampling(reg, groups, probs)
 		}
 
 		// Line 6: sample S_t.
@@ -180,39 +185,40 @@ func Train(sys *System, cfg Config) *Result {
 			s = len(groups)
 		}
 		selected := sampling.Sample(sampleRng, probs, s)
-		reg.Counter("fel_core_rounds_total").Inc()
+		roundsCtr.Inc()
 		for _, gi := range selected {
-			reg.Counter("fel_core_group_selected_total", metrics.L("group", strconv.Itoa(groups[gi].ID))).Inc()
+			selCtrs[gi].Inc()
 		}
 
-		// Lines 7–14: each selected group trains in parallel.
-		groupParams := make([][]float64, len(selected))
-		groupDrops := make([]int, len(selected))
-		groupBytes := make([]int64, len(selected))
+		// Lines 7–14: each selected group trains in parallel. The engine
+		// hands back pooled spaces, consumed by the global aggregation below
+		// and then recycled.
+		spaces = spaces[:0]
+		for range selected {
+			spaces = append(spaces, nil)
+		}
 		parallelEach(len(selected), cfg.MaxParallel, func(si int) {
-			g := groups[selected[si]]
-			groupParams[si], groupDrops[si], groupBytes[si] = runGroup(sys, cfg, local, compressors, g, globalParams, t)
+			spaces[si] = eng.runGroup(groups[selected[si]], globalParams, t)
 		})
-		for si := range selected {
-			res.Dropouts += groupDrops[si]
-			res.UplinkBytes += groupBytes[si]
-			reg.Counter("fel_core_dropouts_total").Add(int64(groupDrops[si]))
+		for _, sp := range spaces {
+			res.Dropouts += sp.drops
+			res.UplinkBytes += sp.bytes
+			eng.dropsCtr.Add(int64(sp.drops))
 		}
 
-		// Line 15: global aggregation.
+		// Line 15: global aggregation into the reused double buffer.
 		aggSpan := reg.Start("fel_core_global_aggregate_seconds")
 		weights := sampling.Weights(groups, selected, probs, totalSamples, cfg.Weights)
-		next := make([]float64, len(globalParams))
+		next = growFloats(next, len(globalParams))
 		for si := range selected {
-			w := weights[si]
-			gp := groupParams[si]
-			for j := range next {
-				next[j] += w * gp[j]
-			}
+			tensor.Axpy(weights[si], spaces[si].group, next)
 		}
 		// The unbiased estimator targets the full-population average; the
 		// weights may not sum to 1 in-sample, which is the point (Eq. 4).
-		globalParams = next
+		globalParams, next = next, globalParams
+		for _, sp := range spaces {
+			eng.putSpace(sp)
+		}
 		aggSpan.End()
 
 		if gf, ok := local.(globalRoundFinisher); ok {
@@ -298,100 +304,25 @@ func (p *compressorPool) forClient(id int) compress.Compressor {
 	return c
 }
 
-// runGroup executes lines 8–14 for one selected group: K group rounds, each
-// training every member client for E local epochs from the current group
-// model, then weight-averaging by n_i over the clients whose updates
-// arrived (n_i/n_g when nothing drops). Returns the final group parameters,
-// the dropout count, and the uplink bytes.
-func runGroup(sys *System, cfg Config, local LocalUpdater, compressors *compressorPool, g *grouping.Group, globalParams []float64, round int) ([]float64, int, int64) {
-	model := sys.NewModel(sys.ModelSeed)
-	groupParams := append([]float64(nil), globalParams...)
-	clientParams := make([]float64, len(groupParams))
-	drops := 0
-	var bytes int64
-	dropRng := stats.NewRNG(cfg.Seed ^ 0xd20b ^
-		(uint64(round+1) * 0xff51afd7ed558ccd) ^
-		(uint64(g.ID+1) * 0xc4ceb9fe1a85ec53))
-
-	reg := cfg.Metrics
-	edgeLabel := metrics.L("edge", strconv.Itoa(g.Edge))
-
-	for k := 0; k < cfg.GroupRounds; k++ {
-		for j := range clientParams {
-			clientParams[j] = 0
-		}
-		wsum := 0.0
-		for _, c := range g.Clients {
-			model.SetParamVector(groupParams)
-			x, y := sys.ClientBatch(c)
-			ctx := LocalContext{
-				ClientID:  c.ID,
-				Anchor:    groupParams,
-				Epochs:    cfg.LocalEpochs,
-				BatchSize: cfg.BatchSize,
-				LR:        cfg.LR,
-				Rng: stats.NewRNG(cfg.Seed ^
-					(uint64(round+1) * 0x9e3779b97f4a7c15) ^
-					(uint64(g.ID+1) * 0xc2b2ae3d27d4eb4f) ^
-					(uint64(c.ID+1) * 0x165667b19e3779f9)),
-			}
-			trainSpan := reg.Start("fel_core_local_train_seconds")
-			local.LocalTrain(model, x, y, ctx)
-			trainSpan.End()
-			reg.Counter("fel_core_local_epochs_total").Add(int64(cfg.LocalEpochs))
-			if cfg.DropoutProb > 0 && dropRng.Float64() < cfg.DropoutProb {
-				drops++
-				continue
-			}
-			params := model.ParamVector()
-			if compressors != nil {
-				// The client ships a compressed delta; the edge applies the
-				// decoded delta to its copy of the group model.
-				delta := make([]float64, len(params))
-				for j := range delta {
-					delta[j] = params[j] - groupParams[j]
-				}
-				enc := compressors.forClient(c.ID).Compress(delta)
-				bytes += int64(enc.Bytes())
-				dec := enc.Decode()
-				for j := range params {
-					params[j] = groupParams[j] + dec[j]
-				}
-			} else {
-				bytes += int64(8 * len(params))
-			}
-			w := float64(c.NumSamples())
-			wsum += w
-			for j, v := range params {
-				clientParams[j] += w * v
-			}
-		}
-		aggSpan := reg.Start("fel_core_group_aggregate_seconds", edgeLabel)
-		if wsum > 0 {
-			inv := 1 / wsum
-			for j := range clientParams {
-				groupParams[j] = clientParams[j] * inv
-			}
-		}
-		aggSpan.End()
-		// wsum == 0: every client dropped this group round; the group model
-		// carries over unchanged.
-	}
-	return groupParams, drops, bytes
-}
-
 // publishSampling exports the current formation's sampling state: one
 // probability, CoV, and size gauge per group. Regrouping republishes, so
 // the gauges always describe the live formation. The sampling-frequency
 // audit (EXPERIMENTS.md) compares fel_core_group_selected_total empirical
 // frequencies against these fel_core_group_prob values.
-func publishSampling(reg *metrics.Registry, groups []*grouping.Group, probs []float64) {
+//
+// It returns the selection counter handle of every group, aligned with
+// groups, so the round loop increments cached counters instead of paying a
+// strconv render plus registry lookup per selection.
+func publishSampling(reg *metrics.Registry, groups []*grouping.Group, probs []float64) []*metrics.Counter {
+	sel := make([]*metrics.Counter, len(groups))
 	for i, g := range groups {
 		gl := metrics.L("group", strconv.Itoa(g.ID))
 		reg.Gauge("fel_core_group_prob", gl).Set(probs[i])
 		reg.Gauge("fel_core_group_cov", gl).Set(g.CoV())
 		reg.Gauge("fel_core_group_size", gl).Set(float64(g.Size()))
+		sel[i] = reg.Counter("fel_core_group_selected_total", gl)
 	}
+	return sel
 }
 
 func validate(sys *System, cfg Config) {
@@ -456,5 +387,10 @@ func RunGroupRounds(sys *System, cfg Config, g *grouping.Group, params []float64
 	if cfg.NewCompressor != nil {
 		pool = &compressorPool{factory: cfg.NewCompressor, byClient: make(map[int]compress.Compressor)}
 	}
-	return runGroup(sys, cfg, local, pool, g, params, round)
+	eng := newEngine(sys, cfg, local, pool)
+	sp := eng.runGroup(g, params, round)
+	newParams = append([]float64(nil), sp.group...)
+	dropouts, uplinkBytes = sp.drops, sp.bytes
+	eng.putSpace(sp)
+	return newParams, dropouts, uplinkBytes
 }

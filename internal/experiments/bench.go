@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/sampling"
+)
+
+// CoreBenchResult is the training-engine benchmark written by
+// `felbench -bench` as BENCH_core.json: one serial and one parallel run of
+// the same Small-scale Group-FEL job, measured end to end.
+type CoreBenchResult struct {
+	// Scale and Seed identify the workload; GoMaxProcs records the
+	// parallelism available when the numbers were taken.
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Rounds     int    `json:"rounds"`
+	// SerialNsPerRound is a MaxParallel=1 run (the reference schedule);
+	// ParallelNsPerRound uses MaxParallel=0 (GOMAXPROCS workers).
+	SerialNsPerRound   float64 `json:"serial_ns_per_round"`
+	ParallelNsPerRound float64 `json:"parallel_ns_per_round"`
+	// Speedup is serial/parallel wall clock; ~1.0 on a single-CPU host.
+	Speedup float64 `json:"speedup"`
+	// SerialAllocsPerRound / ParallelAllocsPerRound count heap allocations
+	// per global round (runtime mallocs delta / rounds) — the zero-alloc
+	// hot-path work shows up here.
+	SerialAllocsPerRound   float64 `json:"serial_allocs_per_round"`
+	ParallelAllocsPerRound float64 `json:"parallel_allocs_per_round"`
+	// BitIdentical confirms the determinism contract held: both runs
+	// produced bit-for-bit equal final parameters.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// CoreBench times the training engine serial vs parallel on the given scale
+// and verifies both schedules produce bit-identical parameters.
+func CoreBench(sc Scale, seed uint64) CoreBenchResult {
+	run := func(maxParallel int) ([]float64, float64, float64) {
+		scRun := sc
+		scRun.MaxParallel = maxParallel
+		sys := scRun.NewSystem(CIFAR, 0.2, seed)
+		cfg := scRun.BaseConfig(CIFAR, seed)
+		cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MaxCoV: sc.MaxCoV, MergeLeftover: true}}
+		cfg.Sampling = sampling.ESRCoV
+		cfg.Weights = sampling.Biased
+		// Warm the per-client batch cache so timing covers training, not
+		// dataset slicing.
+		for _, c := range sys.Clients {
+			sys.ClientBatch(c)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res := core.Train(sys, cfg)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		rounds := float64(res.RoundsRun)
+		return res.Params,
+			float64(elapsed.Nanoseconds()) / rounds,
+			float64(after.Mallocs-before.Mallocs) / rounds
+	}
+
+	serialParams, serialNs, serialAllocs := run(1)
+	parallelParams, parallelNs, parallelAllocs := run(0)
+	identical := len(serialParams) == len(parallelParams)
+	if identical {
+		for i := range serialParams {
+			if math.Float64bits(serialParams[i]) != math.Float64bits(parallelParams[i]) {
+				identical = false
+				break
+			}
+		}
+	}
+	return CoreBenchResult{
+		Scale:                  sc.Name,
+		Seed:                   seed,
+		GoMaxProcs:             runtime.GOMAXPROCS(0),
+		Rounds:                 sc.GlobalRounds,
+		SerialNsPerRound:       serialNs,
+		ParallelNsPerRound:     parallelNs,
+		Speedup:                serialNs / parallelNs,
+		SerialAllocsPerRound:   serialAllocs,
+		ParallelAllocsPerRound: parallelAllocs,
+		BitIdentical:           identical,
+	}
+}

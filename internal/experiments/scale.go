@@ -66,6 +66,9 @@ type Scale struct {
 	MeanSamples, StdSamples float64
 	// EvalEvery thins test-set evaluations.
 	EvalEvery int
+	// MaxParallel bounds the training engine's worker pool (0 = GOMAXPROCS,
+	// 1 = serial reference path). Results are bit-identical at any value.
+	MaxParallel int
 	// Metrics, when non-nil, instruments every run at this scale; felbench
 	// wires one per experiment and dumps its JSON next to the CSV.
 	Metrics *metrics.Registry
@@ -166,6 +169,7 @@ func (s Scale) BaseConfig(task Task, seed uint64) core.Config {
 		CostOps:      cost.DefaultOps(),
 		CostBudget:   s.CostBudget,
 		EvalEvery:    s.EvalEvery,
+		MaxParallel:  s.MaxParallel,
 		Metrics:      s.Metrics,
 	}
 }

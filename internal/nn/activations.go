@@ -5,21 +5,49 @@ import "repro/internal/tensor"
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
 	mask []bool
+
+	// Buffer-reuse mode (Sequential.EnableBufferReuse): out and dgrad are
+	// recycled across calls whenever the input shape repeats.
+	reuse      bool
+	out, dgrad *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
+func (r *ReLU) setBufferReuse(on bool) { r.reuse = on }
+
+// scratchLike returns a tensor shaped like x. With reuse on, the cached
+// buffer is returned on a shape match and resized in place when its rank
+// matches and its backing array is large enough — so alternating batch
+// shapes (full vs tail mini-batches) stop allocating once both have been
+// seen.
+func scratchLike(reuse bool, buf, x *tensor.Tensor) *tensor.Tensor {
+	if reuse && buf != nil {
+		if buf.SameShape(x) {
+			return buf
+		}
+		if len(buf.Shape) == len(x.Shape) && cap(buf.Data) >= x.Size() {
+			copy(buf.Shape, x.Shape)
+			buf.Data = buf.Data[:x.Size()]
+			return buf
+		}
+	}
+	return tensor.New(x.Shape...)
+}
+
 // Forward clamps negatives to zero and records the active mask.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	out := scratchLike(r.reuse, r.out, x)
+	r.out = out
 	if cap(r.mask) < len(out.Data) {
 		r.mask = make([]bool, len(out.Data))
 	}
 	r.mask = r.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			out.Data[i] = v
 		} else {
 			r.mask[i] = false
 			out.Data[i] = 0
@@ -30,9 +58,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward zeroes gradients where the forward input was non-positive.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
+	out := scratchLike(r.reuse, r.dgrad, grad)
+	r.dgrad = out
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = g
+		} else {
 			out.Data[i] = 0
 		}
 	}

@@ -13,6 +13,26 @@ type Dense struct {
 	W, B   *tensor.Tensor
 	dW, dB *tensor.Tensor
 	x      *tensor.Tensor // cached input
+
+	// Buffer-reuse mode (Sequential.EnableBufferReuse): out and dx are
+	// recycled across calls whenever the batch shape repeats.
+	reuse   bool
+	out, dx *tensor.Tensor
+}
+
+func (d *Dense) setBufferReuse(on bool) { d.reuse = on }
+
+// scratch2 returns a [rows, cols] tensor for an output buffer. With reuse on,
+// the cached buffer is returned as-is on a shape match and resized in place
+// when its backing array is large enough — so alternating batch shapes (the
+// SGD loop's full and tail batches) stop allocating once both have been seen.
+func scratch2(reuse bool, buf *tensor.Tensor, rows, cols int) *tensor.Tensor {
+	if reuse && buf != nil && len(buf.Shape) == 2 && cap(buf.Data) >= rows*cols {
+		buf.Shape[0], buf.Shape[1] = rows, cols
+		buf.Data = buf.Data[:rows*cols]
+		return buf
+	}
+	return tensor.New(rows, cols)
 }
 
 // NewDense creates a dense layer with He-initialized weights.
@@ -31,7 +51,8 @@ func NewDense(in, out int, rng *stats.RNG) *Dense {
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.x = x
 	batch := x.Shape[0]
-	out := tensor.New(batch, d.W.Shape[1])
+	out := scratch2(d.reuse, d.out, batch, d.W.Shape[1])
+	d.out = out
 	tensor.MatMul(out, x, d.W)
 	ncols := d.B.Size()
 	for i := 0; i < batch; i++ {
@@ -55,7 +76,8 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			d.dB.Data[j] += g
 		}
 	}
-	dx := tensor.New(grad.Shape[0], d.W.Shape[0])
+	dx := scratch2(d.reuse, d.dx, grad.Shape[0], d.W.Shape[0])
+	d.dx = dx
 	tensor.MatMulBT(dx, grad, d.W)
 	return dx
 }

@@ -15,12 +15,23 @@ type SoftmaxCrossEntropy struct{}
 // Forward returns the mean cross-entropy loss over the batch and the softmax
 // probabilities (one row per sample). logits must be [batch, classes] and
 // labels must hold a class index per row.
-func (SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+func (l SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	probs := tensor.New(logits.Shape[0], logits.Shape[1])
+	return l.ForwardInto(probs, logits, labels), probs
+}
+
+// ForwardInto is Forward writing the softmax probabilities into probs (which
+// must be shaped like logits) instead of allocating, returning the mean
+// cross-entropy loss. The SGD inner loop pairs it with BackwardInPlace so
+// the loss head stays allocation-free.
+func (SoftmaxCrossEntropy) ForwardInto(probs, logits *tensor.Tensor, labels []int) float64 {
 	b, c := logits.Shape[0], logits.Shape[1]
 	if len(labels) != b {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), b))
 	}
-	probs := tensor.New(b, c)
+	if !probs.SameShape(logits) {
+		panic(fmt.Sprintf("nn: ForwardInto probs %v, logits %v", probs.Shape, logits.Shape))
+	}
 	loss := 0.0
 	for i := 0; i < b; i++ {
 		row := logits.Data[i*c : (i+1)*c]
@@ -50,20 +61,27 @@ func (SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (float64
 		}
 		loss -= math.Log(p)
 	}
-	return loss / float64(b), probs
+	return loss / float64(b)
 }
 
 // Backward returns the gradient of the mean loss w.r.t. the logits given the
 // probabilities produced by Forward.
-func (SoftmaxCrossEntropy) Backward(probs *tensor.Tensor, labels []int) *tensor.Tensor {
-	b, c := probs.Shape[0], probs.Shape[1]
+func (l SoftmaxCrossEntropy) Backward(probs *tensor.Tensor, labels []int) *tensor.Tensor {
 	grad := probs.Clone()
+	l.BackwardInPlace(grad, labels)
+	return grad
+}
+
+// BackwardInPlace converts probs into the gradient of the mean loss w.r.t.
+// the logits, in place: (softmax − onehot)/B. The probabilities are consumed;
+// use Backward when they must survive.
+func (SoftmaxCrossEntropy) BackwardInPlace(probs *tensor.Tensor, labels []int) {
+	b, c := probs.Shape[0], probs.Shape[1]
 	inv := 1.0 / float64(b)
 	for i := 0; i < b; i++ {
-		grad.Data[i*c+labels[i]] -= 1
+		probs.Data[i*c+labels[i]] -= 1
 	}
-	grad.Scale(inv)
-	return grad
+	probs.Scale(inv)
 }
 
 // Predict returns the argmax class per row of logits (or probabilities).

@@ -40,8 +40,17 @@ type Layer interface {
 }
 
 // Sequential chains layers into a feed-forward network.
+//
+// The layer list must not be restructured after the first Forward, Params,
+// or Grads call: parameter and gradient tensor lists are memoized so the
+// optimizer and the federated vector round-trips stay allocation-free.
 type Sequential struct {
 	Layers []Layer
+
+	// Memoized Params/Grads results (the tensor pointers are stable for the
+	// life of the network, so building the lists once is safe).
+	params, grads []*tensor.Tensor
+	numParams     int
 }
 
 // NewSequential builds a network from the given layers.
@@ -66,22 +75,29 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns all trainable tensors in layer order.
+// Params returns all trainable tensors in layer order. The list is memoized;
+// callers must treat it as read-only.
 func (s *Sequential) Params() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range s.Layers {
-		out = append(out, l.Params()...)
+	if s.params == nil {
+		for _, l := range s.Layers {
+			s.params = append(s.params, l.Params()...)
+		}
+		for _, p := range s.params {
+			s.numParams += p.Size()
+		}
 	}
-	return out
+	return s.params
 }
 
-// Grads returns all gradient tensors in layer order.
+// Grads returns all gradient tensors in layer order. The list is memoized;
+// callers must treat it as read-only.
 func (s *Sequential) Grads() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range s.Layers {
-		out = append(out, l.Grads()...)
+	if s.grads == nil {
+		for _, l := range s.Layers {
+			s.grads = append(s.grads, l.Grads()...)
+		}
 	}
-	return out
+	return s.grads
 }
 
 // Clone deep-copies the network (parameters copied, caches fresh).
@@ -95,22 +111,32 @@ func (s *Sequential) Clone() *Sequential {
 
 // NumParams returns the total number of scalar parameters.
 func (s *Sequential) NumParams() int {
-	n := 0
-	for _, p := range s.Params() {
-		n += p.Size()
-	}
-	return n
+	s.Params()
+	return s.numParams
 }
 
 // ParamVector flattens all parameters into a single new vector, in a stable
 // layer order. This is the representation exchanged by the federated
 // aggregation, secure aggregation, and backdoor detection code.
 func (s *Sequential) ParamVector() []float64 {
-	out := make([]float64, 0, s.NumParams())
-	for _, p := range s.Params() {
-		out = append(out, p.Data...)
+	return s.ParamVectorInto(nil)
+}
+
+// ParamVectorInto writes the flattened parameters into dst and returns it,
+// reallocating only when dst's capacity is short. Passing a reused buffer
+// makes the per-client parameter export in the training hot loop
+// allocation-free; ParamVectorInto(nil) is equivalent to ParamVector.
+func (s *Sequential) ParamVectorInto(dst []float64) []float64 {
+	n := s.NumParams()
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out
+	dst = dst[:n]
+	off := 0
+	for _, p := range s.Params() {
+		off += copy(dst[off:], p.Data)
+	}
+	return dst
 }
 
 // SetParamVector writes v back into the parameters. len(v) must equal
@@ -127,6 +153,28 @@ func (s *Sequential) SetParamVector(v []float64) {
 	}
 	if off != len(v) {
 		panic(fmt.Sprintf("nn: SetParamVector length %d, want %d", len(v), off))
+	}
+}
+
+// bufferReuser is implemented by layers that can serve Forward/Backward from
+// cached output buffers instead of fresh allocations.
+type bufferReuser interface{ setBufferReuse(on bool) }
+
+// EnableBufferReuse switches supporting layers (Dense, ReLU, and the ReLUs
+// inside Residual blocks) into buffer-reuse mode: Forward and Backward
+// return the same cached tensors on every call with a matching shape instead
+// of freshly allocated ones, which removes the steady-state allocations of
+// the SGD inner loop.
+//
+// A reused output is only valid until the layer's next Forward or Backward
+// call, so enable this only on models whose intermediate tensors are
+// consumed immediately — the training engine's per-worker clones, never a
+// model whose activations a caller retains across steps.
+func (s *Sequential) EnableBufferReuse() {
+	for _, l := range s.Layers {
+		if r, ok := l.(bufferReuser); ok {
+			r.setBufferReuse(true)
+		}
 	}
 }
 

@@ -63,6 +63,45 @@ func BenchmarkForwardResNetLite(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainStepMLPReuse measures the same MLP step with buffer reuse
+// and the in-place loss head — the training engine's zero-alloc hot path.
+func BenchmarkTrainStepMLPReuse(b *testing.B) {
+	m := NewMLP(24, []int{32}, 10, 1)
+	m.EnableBufferReuse()
+	rng := stats.NewRNG(1)
+	x := tensor.New(32, 24)
+	x.RandNormal(rng, 1)
+	y := make([]int, 32)
+	for i := range y {
+		y[i] = rng.IntN(10)
+	}
+	opt := NewSGD(0.05)
+	var loss SoftmaxCrossEntropy
+	probs := tensor.New(32, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := m.Forward(x, true)
+		loss.ForwardInto(probs, logits, y)
+		loss.BackwardInPlace(probs, y)
+		m.Backward(probs)
+		opt.Step(m)
+	}
+}
+
+// BenchmarkParamVectorInto measures the reused-buffer flatten against the
+// allocating BenchmarkParamVectorRoundTrip baseline.
+func BenchmarkParamVectorInto(b *testing.B) {
+	m := NewResNetLite(3, 8, 8, 10, 1)
+	buf := make([]float64, m.NumParams())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.ParamVectorInto(buf)
+		m.SetParamVector(buf)
+	}
+}
+
 // BenchmarkParamVectorRoundTrip measures the flatten/restore path used by
 // every aggregation.
 func BenchmarkParamVectorRoundTrip(b *testing.B) {

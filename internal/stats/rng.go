@@ -17,12 +17,22 @@ import (
 // grouping, sampling, trainer) can own an independent, seedable stream.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // NewRNG returns a generator seeded with seed. Two RNGs created with the same
 // seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets the generator in place to the stream NewRNG(seed) would
+// produce, without allocating. The training hot loop derives one stream per
+// (seed, round, group, client) tuple; reseeding a per-worker RNG replaces a
+// fresh NewRNG allocation on every client visit.
+func (r *RNG) Reseed(seed uint64) {
+	r.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
 }
 
 // Split derives a new independent generator from this one, keyed by tag.
@@ -32,7 +42,8 @@ func NewRNG(seed uint64) *RNG {
 func (r *RNG) Split(tag uint64) *RNG {
 	// Derive from a draw so distinct parents with equal tags diverge.
 	s := r.src.Uint64()
-	return &RNG{src: rand.New(rand.NewPCG(s, tag^0xbf58476d1ce4e5b9))}
+	pcg := rand.NewPCG(s, tag^0xbf58476d1ce4e5b9)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
 }
 
 // Float64 returns a uniform sample in [0, 1).

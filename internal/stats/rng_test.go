@@ -181,3 +181,29 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestReseedMatchesFreshRNG(t *testing.T) {
+	r := NewRNG(99)
+	// Consume some state, then reseed; the stream must match a fresh RNG's.
+	for i := 0; i < 50; i++ {
+		r.Float64()
+		r.NormFloat64()
+	}
+	r.Reseed(1234)
+	fresh := NewRNG(1234)
+	for i := 0; i < 100; i++ {
+		if a, b := r.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("draw %d: reseeded %d, fresh %d", i, a, b)
+		}
+	}
+	if a, b := r.NormFloat64(), fresh.NormFloat64(); a != b {
+		t.Fatalf("normal draw diverged: %v vs %v", a, b)
+	}
+}
+
+func TestReseedDoesNotAllocate(t *testing.T) {
+	r := NewRNG(7)
+	if n := testing.AllocsPerRun(100, func() { r.Reseed(42) }); n != 0 {
+		t.Fatalf("Reseed allocated %.1f times per run, want 0", n)
+	}
+}

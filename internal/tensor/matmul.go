@@ -11,6 +11,15 @@ import (
 // tiny matrices.
 const parallelThreshold = 1 << 16
 
+// serialRows reports whether a rows×(work) matmul should run inline. Callers
+// dispatch to the named row kernels directly in that case, so the hot path
+// of small matrices never materializes a closure — a per-call heap
+// allocation that would otherwise defeat the training loop's zero-alloc
+// steady state.
+func serialRows(rows, work int) bool {
+	return work < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 || rows <= 1
+}
+
 // MatMul computes dst = a × b for 2-D tensors a (m×k) and b (k×n), writing
 // into dst (m×n). dst must not alias a or b. Rows of the output are computed
 // in parallel across GOMAXPROCS workers when the problem is large enough;
@@ -25,7 +34,11 @@ func MatMul(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMul dst %v, want [%d %d]", dst.Shape, m, n))
 	}
-	parallelRows(m, m*n*k, func(lo, hi int) {
+	if serialRows(m, m*n*k) {
+		matmulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	parallelRows(m, func(lo, hi int) {
 		matmulRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
 	})
 }
@@ -63,25 +76,34 @@ func MatMulAT(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAT dst %v, want [%d %d]", dst.Shape, m, n))
 	}
-	parallelRows(m, m*n*k, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst.Data[i*n : (i+1)*n]
-			for x := range drow {
-				drow[x] = 0
+	if serialRows(m, m*n*k) {
+		matmulATRows(dst.Data, a.Data, b.Data, 0, m, k, m, n)
+		return
+	}
+	parallelRows(m, func(lo, hi int) {
+		matmulATRows(dst.Data, a.Data, b.Data, lo, hi, k, m, n)
+	})
+}
+
+// matmulATRows computes rows [lo, hi) of dst = aᵀ×b.
+func matmulATRows(dst, a, b []float64, lo, hi, k, m, n int) {
+	for i := lo; i < hi; i++ {
+		drow := dst[i*n : (i+1)*n]
+		for x := range drow {
+			drow[x] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			//lint:ignore float-eq sparsity fast path: skipping exact zeros changes no bits of the result
+			if av == 0 {
+				continue
 			}
-			for p := 0; p < k; p++ {
-				av := a.Data[p*m+i]
-				//lint:ignore float-eq sparsity fast path: skipping exact zeros changes no bits of the result
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MatMulBT computes dst = a × bᵀ for a (m×k) and b (n×k), producing m×n.
@@ -95,30 +117,35 @@ func MatMulBT(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulBT dst %v, want [%d %d]", dst.Shape, m, n))
 	}
-	parallelRows(m, m*n*k, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			drow := dst.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				drow[j] = s
-			}
-		}
+	if serialRows(m, m*n*k) {
+		matmulBTRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	parallelRows(m, func(lo, hi int) {
+		matmulBTRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
 	})
 }
 
-// parallelRows partitions [0, rows) across workers when work (a rough flop
-// count) exceeds the parallel threshold, otherwise runs inline.
-func parallelRows(rows, work int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers <= 1 || rows <= 1 {
-		fn(0, rows)
-		return
+// matmulBTRows computes rows [lo, hi) of dst = a×bᵀ.
+func matmulBTRows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
 	}
+}
+
+// parallelRows partitions [0, rows) across GOMAXPROCS workers. Callers have
+// already decided against the inline path via serialRows.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
 		workers = rows
 	}

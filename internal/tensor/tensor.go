@@ -143,17 +143,13 @@ func (t *Tensor) Sub(o *Tensor) {
 
 // Scale multiplies every element by k.
 func (t *Tensor) Scale(k float64) {
-	for i := range t.Data {
-		t.Data[i] *= k
-	}
+	ScaleSlice(k, t.Data)
 }
 
 // AddScaled accumulates k*o into t: t += k*o.
 func (t *Tensor) AddScaled(k float64, o *Tensor) {
 	t.mustMatch(o, "AddScaled")
-	for i, v := range o.Data {
-		t.Data[i] += k * v
-	}
+	Axpy(k, o.Data, t.Data)
 }
 
 // Hadamard multiplies t element-wise by o.
