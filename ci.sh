@@ -16,12 +16,19 @@
 #                        (TestEngineWorkerPoolRace), simnet event loop,
 #                        wire codec, fednode cloud/edge/client servers,
 #                        metrics registry)
-#   6. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
+#   6. fuzz smoke      — every fuzz target runs 10s of randomized inputs
+#                        (currently FuzzDecodeFrame over the wire codec,
+#                        seeded from faultnet's corruption mutators)
+#   7. chaos smoke     — felnode -chaos runs a named fault-injection
+#                        scenario twice against a full loopback federation
+#                        and diffs the fault event logs and timing-masked
+#                        metrics snapshots byte for byte
+#   8. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
 #                        (2 edges × 12 clients × 2 rounds), which also
 #                        cross-checks accuracy against the in-process
 #                        trainer and transport bytes against the codec's
 #                        accounting
-#   7. metrics smoke   — the same loopback job with -metrics: polls the
+#   9. metrics smoke   — the same loopback job with -metrics: polls the
 #                        live HTTP endpoint until the snapshot exposes
 #                        fel_wire_bytes_total and checks every line parses
 #                        as Prometheus text exposition
@@ -42,8 +49,25 @@ go run ./cmd/repolint
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (tensor, core, simnet, wire, fednode, metrics)"
-go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode ./internal/metrics
+echo "== go test -race (tensor, core, simnet, wire, fednode, faultnet, metrics)"
+go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode ./internal/faultnet/... ./internal/metrics
+
+echo "== go test -fuzz smoke (10s per target)"
+go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s
+
+echo "== felnode -chaos smoke (deterministic replay)"
+chaosdir="$(mktemp -d)"
+trap 'rm -rf "$chaosdir"' EXIT
+go build -o "$chaosdir/felnode" ./cmd/felnode
+"$chaosdir/felnode" -chaos corrupt-frames > "$chaosdir/run1.txt"
+"$chaosdir/felnode" -chaos corrupt-frames > "$chaosdir/run2.txt"
+if ! diff -u "$chaosdir/run1.txt" "$chaosdir/run2.txt"; then
+  echo "ci.sh: chaos scenario replay is not deterministic" >&2
+  exit 1
+fi
+echo "chaos smoke: corrupt-frames replayed byte-identically"
+rm -rf "$chaosdir"
+trap - EXIT
 
 echo "== felnode loopback smoke (TCP on 127.0.0.1)"
 timeout 120 go run ./cmd/felnode -role loopback -clients 12 -edges 2 -rounds 2

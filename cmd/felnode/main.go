@@ -15,6 +15,16 @@
 //	felnode -role edge -edge 0 -cloud host:9000 -listen :9100
 //	felnode -role edge -edge 1 -cloud host:9000 -listen :9101
 //
+// With -chaos the process instead runs a deterministic chaos scenario
+// against a full in-process federation behind a fault-injecting transport:
+// a named scenario from the built-in suite, or a plan.json written by hand.
+// The fault event log and the timing-masked metrics snapshot are printed so
+// two invocations with the same seed can be diffed byte for byte:
+//
+//	felnode -chaos list                        # show the named suite
+//	felnode -chaos corrupt-frames
+//	felnode -chaos plan.json -seed 7
+//
 // With -metrics addr the process additionally serves live introspection
 // over HTTP while the job runs: the deterministic text snapshot on
 // /metrics, expvar on /debug/vars, and the pprof profiles on /debug/pprof.
@@ -31,12 +41,15 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/data"
+	"repro/internal/faultnet"
+	"repro/internal/faultnet/scenarios"
 	"repro/internal/fednode"
 	"repro/internal/grouping"
 	"repro/internal/metrics"
@@ -61,11 +74,26 @@ func main() {
 		sample  = flag.Int("sample", 2, "groups sampled per round S")
 		seed    = flag.Uint64("seed", 42, "shared seed: every process derives the same federation from it")
 		dropc   = flag.Int("dropclient", -1, "inject a disconnect: this client vanishes mid-round in round 0")
+		chaos   = flag.String("chaos", "", "run a chaos scenario: a name from the built-in suite, a plan.json path, or 'list'")
 		maddr   = flag.String("metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		hold    = flag.Duration("hold", 0, "keep the -metrics endpoint up this long after the job completes")
 		verbose = flag.Bool("v", false, "trace protocol progress")
 	)
 	flag.Parse()
+
+	if *chaos != "" {
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		if err := runChaos(*chaos, *seed, seedSet, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "felnode:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sys := buildSystem(*clients, *edges, *seed)
 	cfg := fednode.JobConfig{
@@ -126,6 +154,73 @@ func main() {
 		}
 		msrv.close()
 	}
+}
+
+// runChaos executes one chaos scenario — named or loaded from a plan file —
+// and prints the replay artifacts: the sorted fault event log and the
+// timing-masked metrics snapshot. Both are deterministic for a given seed,
+// so `felnode -chaos plan.json -seed 7` twice must print identical output.
+func runChaos(arg string, seed uint64, seedSet, verbose bool) error {
+	if arg == "list" {
+		for _, sc := range scenarios.All() {
+			fmt.Printf("%-22s %s\n", sc.Name, sc.About)
+		}
+		return nil
+	}
+	var sc scenarios.Scenario
+	if st, err := os.Stat(arg); err == nil && !st.IsDir() {
+		plan, err := faultnet.LoadPlan(arg)
+		if err != nil {
+			return err
+		}
+		if seedSet {
+			plan.Seed = seed
+		}
+		sc = scenarios.FromPlan(plan)
+	} else if named, ok := scenarios.ByName(arg); ok {
+		sc = named
+		if seedSet {
+			orig := sc.Plan
+			sc.Plan = func(ctx *scenarios.Context) *faultnet.Plan {
+				p := orig(ctx)
+				p.Seed = seed
+				return p
+			}
+		}
+	} else {
+		return fmt.Errorf("-chaos %q is neither a plan file nor a named scenario (try -chaos list)", arg)
+	}
+
+	var logf func(string, ...any)
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "felnode: "+format+"\n", args...)
+		}
+	}
+	r, err := scenarios.Run(sc, logf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos %s: %d rounds, final acc=%.4f, dropouts=%d, recoveries=%d, casualties=%d, restarts=%d\n",
+		r.Name, r.Report.RoundsRun, r.Report.FinalAccuracy, r.Report.Dropouts, r.Report.Recoveries,
+		len(r.Casualties), r.Restarts)
+	counts := r.Log.Counts()
+	actions := make([]string, 0, len(counts))
+	for a := range counts {
+		actions = append(actions, string(a))
+	}
+	sort.Strings(actions)
+	for _, a := range actions {
+		fmt.Printf("  injected %s: %d\n", a, counts[faultnet.Action(a)])
+	}
+	if r.FaultFreeParams != nil {
+		fmt.Println("  delay-only plan: final weights bit-identical to the fault-free baseline")
+	}
+	fmt.Println("--- fault event log ---")
+	fmt.Print(r.Log.String())
+	fmt.Println("--- metrics (timings masked) ---")
+	fmt.Print(metrics.MaskTimings(r.Registry.Snapshot()))
+	return nil
 }
 
 // metricsServer is the optional -metrics HTTP endpoint; done carries the

@@ -1,0 +1,227 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Action names one fault class a Rule can inject.
+type Action string
+
+// The fault vocabulary. Delay and Partition only reorder time — a plan made
+// of them alone must leave the training trajectory bit-identical. Corrupt,
+// Truncate, and Reset destroy frames or connections and must surface as
+// secagg dropouts, straggler timeouts, or crash-restarts downstream.
+const (
+	// ActionDelay sleeps before forwarding the matched frame (base plus
+	// seeded jitter), modeling stragglers and slow links.
+	ActionDelay Action = "delay"
+	// ActionCorrupt flips Flips payload bits in the matched frame; the
+	// receiver's CRC32 check must reject it.
+	ActionCorrupt Action = "corrupt"
+	// ActionTruncate forwards only a prefix of the matched frame and then
+	// closes the connection, modeling a crash mid-send.
+	ActionTruncate Action = "truncate"
+	// ActionReset drops the matched frame and closes the connection,
+	// modeling an abrupt peer crash.
+	ActionReset Action = "reset"
+	// ActionPartition blocks both directions of the matched link until
+	// HealMs elapses; dials across the link are refused while it holds.
+	ActionPartition Action = "partition"
+)
+
+// MatchAny is the wildcard value for a Rule's Round and Seq fields.
+const MatchAny = -1
+
+// Rule matches frames on tagged links and names the fault to inject.
+// Links are identified by the node tags fednode supplies through its
+// TagNetwork hooks: "cloud", "edge/<e>", "client/<id>". A frame's direction
+// is always dialer→listener or listener→dialer, and From/To match the
+// frame's own direction, so one rule can target either half of a duplex
+// connection.
+type Rule struct {
+	// From and To match the frame's source and destination tags. A bare
+	// "*" matches everything; a trailing "/*" matches a tag class
+	// ("client/*"); anything else is exact.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Type matches the wire message type name ("MaskedUpdate", ...); empty
+	// matches every type.
+	Type string `json:"type,omitempty"`
+	// Round and Seq match the frame header's global round and the payload's
+	// group-round sequence; MatchAny (-1) matches all.
+	Round int `json:"round"`
+	Seq   int `json:"seq"`
+
+	// Action is the fault to inject when the rule fires.
+	Action Action `json:"action"`
+	// Prob fires the rule on each matched frame with this probability,
+	// drawn from the link's seeded RNG (default 1: every match fires).
+	Prob float64 `json:"prob,omitempty"`
+	// Count caps how many times this rule fires per link direction
+	// (0 = unlimited).
+	Count int `json:"count,omitempty"`
+
+	// DelayMs and JitterMs parameterize ActionDelay: sleep DelayMs plus a
+	// seeded uniform draw from [0, JitterMs].
+	DelayMs  int `json:"delay_ms,omitempty"`
+	JitterMs int `json:"jitter_ms,omitempty"`
+	// HealMs parameterizes ActionPartition: the link heals after this long.
+	HealMs int `json:"heal_ms,omitempty"`
+	// Flips parameterizes ActionCorrupt: payload bits to flip (default 1).
+	Flips int `json:"flips,omitempty"`
+}
+
+// UnmarshalJSON applies the field defaults a hand-written plan.json expects:
+// Round and Seq wildcard to MatchAny, Prob to 1, Flips to 1.
+func (r *Rule) UnmarshalJSON(b []byte) error {
+	type bare Rule
+	a := bare{Round: MatchAny, Seq: MatchAny, Prob: 1, Flips: 1}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*r = Rule(a)
+	return nil
+}
+
+// withDefaults fills the zero-valued tuning fields of a Go-built rule.
+func (r Rule) withDefaults() Rule {
+	if r.Prob <= 0 {
+		r.Prob = 1
+	}
+	if r.Flips <= 0 {
+		r.Flips = 1
+	}
+	return r
+}
+
+// validate rejects rules the injector cannot execute.
+func (r Rule) validate() error {
+	switch r.Action {
+	case ActionDelay:
+		if r.DelayMs <= 0 && r.JitterMs <= 0 {
+			return fmt.Errorf("faultnet: delay rule needs delay_ms or jitter_ms")
+		}
+	case ActionCorrupt, ActionTruncate, ActionReset:
+	case ActionPartition:
+		if r.HealMs <= 0 {
+			return fmt.Errorf("faultnet: partition rule needs heal_ms")
+		}
+	default:
+		return fmt.Errorf("faultnet: unknown action %q", r.Action)
+	}
+	if r.From == "" || r.To == "" {
+		return fmt.Errorf("faultnet: rule needs from and to patterns")
+	}
+	if r.Type != "" && wireTypeByName(r.Type) == 0 {
+		return fmt.Errorf("faultnet: unknown wire type %q", r.Type)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("faultnet: prob %g outside [0,1]", r.Prob)
+	}
+	return nil
+}
+
+// matches reports whether the rule applies to one frame on one link
+// direction.
+func (r Rule) matches(from, to string, typ wire.Type, round, seq int) bool {
+	if !matchTag(r.From, from) || !matchTag(r.To, to) {
+		return false
+	}
+	if r.Type != "" && wireTypeByName(r.Type) != typ {
+		return false
+	}
+	if r.Round != MatchAny && r.Round != round {
+		return false
+	}
+	if r.Seq != MatchAny && r.Seq != seq {
+		return false
+	}
+	return true
+}
+
+// matchTag implements the three pattern forms: "*", "class/*", exact.
+func matchTag(pattern, tag string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if class, ok := strings.CutSuffix(pattern, "/*"); ok {
+		return strings.HasPrefix(tag, class+"/")
+	}
+	return pattern == tag
+}
+
+// wireTypeByName resolves a wire type name; 0 means unknown.
+func wireTypeByName(name string) wire.Type {
+	for t := wire.GlobalModel; t <= wire.GlobalAggregate; t++ {
+		if t.String() == name {
+			return t
+		}
+	}
+	return 0
+}
+
+// Plan is one seeded, scripted chaos plan: the fault rules plus the
+// recovery policy knobs the scenario runner honors. The same plan and seed
+// always inject the same faults in the same per-link order.
+type Plan struct {
+	// Name identifies the plan in logs and CLI output.
+	Name string `json:"name"`
+	// Seed drives every probabilistic draw (per-link RNGs are derived from
+	// it); the runner may override it from the -seed flag.
+	Seed uint64 `json:"seed"`
+	// MaxRestarts is the per-client crash-restart budget the scenario
+	// runner grants (0: a crashed client stays down).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// RestartBackoffMs is the pause before a crashed client redials.
+	RestartBackoffMs int `json:"restart_backoff_ms,omitempty"`
+	// Rules are evaluated in order against every frame; all matching rules
+	// that fire apply (terminal actions — truncate, reset — stop the scan).
+	Rules []Rule `json:"rules"`
+}
+
+// Validate checks every rule and applies defaults in place.
+func (p *Plan) Validate() error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("faultnet: plan %q has no rules", p.Name)
+	}
+	for i := range p.Rules {
+		p.Rules[i] = p.Rules[i].withDefaults()
+		if err := p.Rules[i].validate(); err != nil {
+			return fmt.Errorf("faultnet: plan %q rule %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// DelayOnly reports whether the plan can only reorder time (delay and
+// partition rules): such a plan must leave final weights bit-identical to a
+// fault-free run, the invariant the scenario runner asserts.
+func (p *Plan) DelayOnly() bool {
+	for _, r := range p.Rules {
+		if r.Action != ActionDelay && r.Action != ActionPartition {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadPlan reads and validates a JSON plan file.
+func LoadPlan(path string) (*Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: read plan: %w", err)
+	}
+	p := &Plan{}
+	if err := json.Unmarshal(b, p); err != nil {
+		return nil, fmt.Errorf("faultnet: parse plan %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -61,7 +61,9 @@ func (c *Client) Run(nw Network, edgeAddr string) ([]float64, error) {
 		return nil, fmt.Errorf("fednode: client %d not in system", c.id)
 	}
 
-	raw, err := dialRetry(nw, edgeAddr, cfg.DialAttempts, cfg.DialBackoff, c.meter)
+	tag := fmt.Sprintf("client/%d", c.id)
+	raw, err := dialRetry(nw, tag, edgeAddr, cfg.DialAttempts, cfg.DialBackoff, c.meter,
+		stats.NewRNG(dialSeed(cfg.Seed, tag)))
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +76,7 @@ func (c *Client) Run(nw Network, edgeAddr string) ([]float64, error) {
 
 	// Group assignment: group id, this client's index within the group, and
 	// the full membership (needed to derive the secagg session locally).
-	assign, err := expectFrame(conn, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
+	assign, err := expectFrame(conn, c.meter, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
 	if err != nil {
 		return nil, fmt.Errorf("fednode: client %d assignment: %w", c.id, err)
 	}
@@ -105,7 +107,7 @@ func (c *Client) Run(nw Network, edgeAddr string) ([]float64, error) {
 	for {
 		// Between requests the client blocks without a deadline: its edge
 		// decides the pace.
-		m, err := readFrame(conn, cfg.MaxFrame, 0)
+		m, err := readFrame(conn, c.meter, cfg.MaxFrame, 0)
 		if err != nil {
 			return nil, fmt.Errorf("fednode: client %d read: %w", c.id, err)
 		}

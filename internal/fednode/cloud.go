@@ -77,7 +77,7 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 			return nil, fmt.Errorf("fednode: cloud accept: %w", err)
 		}
 		conn := meter(raw, c.meter)
-		reg, err := expectFrame(conn, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
+		reg, err := expectFrame(conn, c.meter, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
 		if err != nil {
 			closeQuiet(conn)
 			return nil, fmt.Errorf("fednode: edge registration: %w", err)
@@ -222,7 +222,7 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 			go func(e int, conn net.Conn, expect int) {
 				defer wg.Done()
 				for r := 0; r < expect; r++ {
-					m, err := expectFrame(conn, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAggregate)
+					m, err := expectFrame(conn, c.meter, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAggregate)
 					if err == nil && int(m.Round) != t {
 						err = fmt.Errorf("fednode: edge %d aggregate for round %d during round %d", e, m.Round, t)
 					}
@@ -302,7 +302,7 @@ func (c *Cloud) Run(ln net.Listener) (*Report, error) {
 		}
 	}
 	for e, conn := range conns {
-		if _, err := expectFrame(conn, cfg.MaxFrame, cfg.RoundTimeout, wire.GlobalAggregate); err != nil {
+		if _, err := expectFrame(conn, c.meter, cfg.MaxFrame, cfg.RoundTimeout, wire.GlobalAggregate); err != nil {
 			return nil, fmt.Errorf("fednode: shutdown ack from edge %d: %w", e, err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/secagg"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -68,7 +69,9 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 		return fmt.Errorf("fednode: edge id %d out of range [0,%d)", e.id, len(e.sys.Edges))
 	}
 
-	rawCloud, err := dialRetry(nw, cloudAddr, cfg.DialAttempts, cfg.DialBackoff, e.meter)
+	tag := fmt.Sprintf("edge/%d", e.id)
+	rawCloud, err := dialRetry(nw, tag, cloudAddr, cfg.DialAttempts, cfg.DialBackoff, e.meter,
+		stats.NewRNG(dialSeed(cfg.Seed, tag)))
 	if err != nil {
 		return err
 	}
@@ -96,7 +99,7 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 			return fmt.Errorf("fednode: edge %d accept: %w", e.id, err)
 		}
 		conn := meter(raw, e.meter)
-		hello, err := expectFrame(conn, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
+		hello, err := expectFrame(conn, e.meter, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
 		if err != nil {
 			closeQuiet(conn)
 			return fmt.Errorf("fednode: client registration: %w", err)
@@ -118,8 +121,10 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 	// (group id, its index, the full membership).
 	refs := clientsByID(e.sys)
 	groups := make(map[int]*edgeGroup)
+	assigns := make(map[int]*wire.Message, len(mine))
+	seats := make(map[int]seat, len(mine))
 	for {
-		m, err := expectFrame(cloudConn, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
+		m, err := expectFrame(cloudConn, e.meter, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
 		if err != nil {
 			return fmt.Errorf("fednode: edge %d assignment: %w", e.id, err)
 		}
@@ -139,10 +144,12 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 			g.samples[i] = ref.samples
 			g.ng += ref.samples
 			g.conns[i] = conn
+			seats[cid] = seat{g: g, idx: i}
 		}
 		groups[g.gid] = g
 		for i, cid := range g.members {
 			assign := &wire.Message{Type: wire.GroupAssign, From: int32(g.gid), Seq: uint32(i), Ints: m.Ints}
+			assigns[cid] = assign
 			if err := sendFrame(clientConns[cid], e.meter, assign, cfg.RoundTimeout); err != nil {
 				return fmt.Errorf("fednode: forward assignment to client %d: %w", cid, err)
 			}
@@ -150,16 +157,31 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 	}
 	e.logf("edge %d: %d groups assigned", e.id, len(groups))
 
+	// From here on the listener serves crash-restarted clients: the rejoin
+	// loop replays their assignment and queues them for adoption at the next
+	// round boundary. Closing ln is what stops the loop, so Run owns the
+	// close from this point (closeQuiet is idempotent-safe for both listener
+	// kinds).
+	rejoinCh := make(chan rejoin, len(mine))
+	acceptDone := make(chan struct{})
+	go e.rejoinLoop(ln, mine, assigns, rejoinCh, acceptDone)
+	defer func() {
+		closeQuiet(ln)
+		<-acceptDone
+		drainRejoins(rejoinCh)
+	}()
+
 	cloud := &lockedConn{conn: cloudConn}
 	for {
 		// Between rounds the edge blocks on the cloud without a deadline:
 		// the cloud decides the job's pace.
-		m, err := readFrame(cloudConn, cfg.MaxFrame, 0)
+		m, err := readFrame(cloudConn, e.meter, cfg.MaxFrame, 0)
 		if err != nil {
 			return fmt.Errorf("fednode: edge %d read from cloud: %w", e.id, err)
 		}
 		switch m.Type {
 		case wire.GlobalModel:
+			e.adoptRejoins(rejoinCh, seats, clientConns)
 			t := int(m.Round)
 			var wg sync.WaitGroup
 			var mu sync.Mutex
@@ -186,8 +208,10 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 				return firstErr
 			}
 		case wire.GlobalAggregate:
-			// Graceful shutdown: forward the final model to every live
-			// client, ack the cloud, and drain.
+			// Graceful shutdown: adopt any last rejoins so they receive the
+			// final model too, forward it to every live client, ack the
+			// cloud, and drain.
+			e.adoptRejoins(rejoinCh, seats, clientConns)
 			for cid, conn := range clientConns {
 				if deadConn(groups, cid) {
 					continue
@@ -203,6 +227,103 @@ func (e *Edge) Run(nw Network, ln net.Listener, cloudAddr string) error {
 			return nil
 		default:
 			return fmt.Errorf("fednode: edge %d unexpected %s frame from cloud", e.id, m.Type)
+		}
+	}
+}
+
+// seat locates one client's place in its group: the edge adopts a rejoining
+// client back into exactly this slot.
+type seat struct {
+	g   *edgeGroup
+	idx int
+}
+
+// rejoin is one crash-restarted client that has re-registered and received
+// its assignment replay, waiting for adoption at a round boundary.
+type rejoin struct {
+	cid  int
+	conn net.Conn
+}
+
+// rejoinLoop serves the edge's listener after initial registration: each
+// accepted connection is a crash-restarted client re-registering. The loop
+// validates the hello, replays the client's stored group assignment, and
+// queues the connection for adoption. A malformed or foreign hello just
+// drops the connection — a chaos run must not let one corrupted
+// registration kill the edge. The loop exits when ln closes.
+func (e *Edge) rejoinLoop(ln net.Listener, mine map[int]bool, assigns map[int]*wire.Message, ch chan<- rejoin, done chan<- struct{}) {
+	defer close(done)
+	cfg := e.cfg
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := meter(raw, e.meter)
+		hello, err := expectFrame(conn, e.meter, cfg.MaxFrame, cfg.RoundTimeout, wire.GroupAssign)
+		if err != nil {
+			closeQuiet(conn)
+			continue
+		}
+		cid := int(hello.From)
+		assign := assigns[cid]
+		if !mine[cid] || assign == nil {
+			closeQuiet(conn)
+			continue
+		}
+		if err := sendFrame(conn, e.meter, assign, cfg.RoundTimeout); err != nil {
+			closeQuiet(conn)
+			continue
+		}
+		select {
+		case ch <- rejoin{cid: cid, conn: conn}:
+			e.logf("edge %d: client %d re-registered", e.id, cid)
+		default:
+			// The adoption queue is full (a client redialing faster than
+			// rounds turn over); drop this attempt, it can redial.
+			closeQuiet(conn)
+		}
+	}
+}
+
+// adoptRejoins plugs queued crash-restarted clients back into their group
+// seats. Called only at round boundaries — between the cloud's frames, with
+// no group runner in flight — so seat state is safe to mutate: the seat's
+// connection is replaced and its dead flag cleared, making the member a
+// full secure-aggregation participant again from the next broadcast on.
+func (e *Edge) adoptRejoins(ch <-chan rejoin, seats map[int]seat, clientConns map[int]net.Conn) {
+	for {
+		select {
+		case r := <-ch:
+			s, ok := seats[r.cid]
+			if !ok {
+				closeQuiet(r.conn)
+				continue
+			}
+			if old := s.g.conns[s.idx]; old != nil && old != r.conn {
+				closeQuiet(old)
+			}
+			s.g.conns[s.idx] = r.conn
+			s.g.dead[s.idx] = false
+			clientConns[r.cid] = r.conn
+			e.meter.rejoins.Inc()
+			e.logf("edge %d: client %d rejoined group %d", e.id, r.cid, s.g.gid)
+		default:
+			return
+		}
+	}
+}
+
+// drainRejoins closes rejoin connections that arrived too late to adopt.
+// The rejoin loop has already exited when this runs, so the channel has no
+// senders left.
+func drainRejoins(ch <-chan rejoin) {
+	for {
+		select {
+		case r := <-ch:
+			closeQuiet(r.conn)
+		default:
+			return
 		}
 	}
 }
@@ -266,7 +387,7 @@ func (e *Edge) runGroup(g *edgeGroup, t int, globalParams []float64, cloud *lock
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				m, err := expectFrame(g.conns[i], cfg.MaxFrame, cfg.StragglerTimeout, wire.MaskedUpdate)
+				m, err := expectFrame(g.conns[i], e.meter, cfg.MaxFrame, cfg.StragglerTimeout, wire.MaskedUpdate)
 				if err != nil {
 					collectErr[i] = err
 					return
@@ -398,7 +519,7 @@ func (e *Edge) revealShares(g *edgeGroup, sess *secagg.Session, t, k int, droppe
 		if err := sendFrame(g.conns[i], e.meter, req, cfg.StragglerTimeout); err != nil {
 			return fmt.Errorf("fednode: group %d reveal request to client %d: %w", g.gid, g.members[i], err)
 		}
-		reply, err := expectFrame(g.conns[i], cfg.MaxFrame, cfg.StragglerTimeout, wire.ShareReveal)
+		reply, err := expectFrame(g.conns[i], e.meter, cfg.MaxFrame, cfg.StragglerTimeout, wire.ShareReveal)
 		if err != nil {
 			return fmt.Errorf("fednode: group %d reveal reply from client %d: %w", g.gid, g.members[i], err)
 		}

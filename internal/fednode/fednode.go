@@ -306,9 +306,10 @@ func sendFrame(conn net.Conn, m *Meter, msg *wire.Message, timeout time.Duration
 	return nil
 }
 
-// readFrame reads one frame from conn under the read deadline. A zero
-// timeout blocks indefinitely.
-func readFrame(conn net.Conn, maxFrame int, timeout time.Duration) (*wire.Message, error) {
+// readFrame reads one frame from conn under the read deadline, classifying
+// any decode failure into mt's fel_wire_decode_errors_total (mt may be
+// nil). A zero timeout blocks indefinitely.
+func readFrame(conn net.Conn, mt *Meter, maxFrame int, timeout time.Duration) (*wire.Message, error) {
 	var zero time.Time
 	deadline := zero
 	if timeout > 0 {
@@ -317,12 +318,16 @@ func readFrame(conn net.Conn, maxFrame int, timeout time.Duration) (*wire.Messag
 	if err := conn.SetReadDeadline(deadline); err != nil {
 		return nil, fmt.Errorf("fednode: set read deadline: %w", err)
 	}
-	return wire.Decode(conn, maxFrame)
+	m, err := wire.Decode(conn, maxFrame)
+	if err != nil && mt != nil {
+		mt.countDecodeError(err)
+	}
+	return m, err
 }
 
 // expectFrame reads one frame and checks its type.
-func expectFrame(conn net.Conn, maxFrame int, timeout time.Duration, want wire.Type) (*wire.Message, error) {
-	m, err := readFrame(conn, maxFrame, timeout)
+func expectFrame(conn net.Conn, mt *Meter, maxFrame int, timeout time.Duration, want wire.Type) (*wire.Message, error) {
+	m, err := readFrame(conn, mt, maxFrame, timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,7 @@ func RunJob(nw Network, sys *core.System, cfg JobConfig, listenAddr string) (*Re
 		m = NewMeter(nil)
 	}
 
-	cloudLn, err := nw.Listen(listenAddr)
+	cloudLn, err := listenTagged(nw, "cloud", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("fednode: cloud listen: %w", err)
 	}
@@ -39,7 +39,7 @@ func RunJob(nw Network, sys *core.System, cfg JobConfig, listenAddr string) (*Re
 	edgeLns := make([]net.Listener, len(sys.Edges))
 	edgeAddrs := make([]string, len(sys.Edges))
 	for e := range sys.Edges {
-		ln, err := nw.Listen(listenAddr)
+		ln, err := listenTagged(nw, fmt.Sprintf("edge/%d", e), listenAddr)
 		if err != nil {
 			return nil, fmt.Errorf("fednode: edge %d listen: %w", e, err)
 		}

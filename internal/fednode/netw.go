@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -20,6 +21,38 @@ type Network interface {
 	Listen(addr string) (net.Listener, error)
 	// Dial connects to a listener previously opened on addr.
 	Dial(addr string) (net.Conn, error)
+}
+
+// TagNetwork is the optional transport extension a fault-injection or
+// tracing wrapper (internal/faultnet) implements on top of Network: the
+// same dial/listen surface, but with stable node identities attached.
+// fednode always announces who is listening ("cloud", "edge/<e>") and who
+// is dialing ("edge/<e>", "client/<id>") through these methods when the
+// transport supports them, so a wrapper can key per-link state off node
+// identity instead of goroutine scheduling — the property that makes
+// injected fault schedules replayable.
+type TagNetwork interface {
+	Network
+	// ListenAs opens a listener on addr owned by the node named tag.
+	ListenAs(tag, addr string) (net.Listener, error)
+	// DialFrom dials addr on behalf of the node named fromTag.
+	DialFrom(fromTag, addr string) (net.Conn, error)
+}
+
+// listenTagged listens with the node tag when the transport understands it.
+func listenTagged(nw Network, tag, addr string) (net.Listener, error) {
+	if tn, ok := nw.(TagNetwork); ok {
+		return tn.ListenAs(tag, addr)
+	}
+	return nw.Listen(addr)
+}
+
+// dialTagged dials with the node tag when the transport understands it.
+func dialTagged(nw Network, fromTag, addr string) (net.Conn, error) {
+	if tn, ok := nw.(TagNetwork); ok {
+		return tn.DialFrom(fromTag, addr)
+	}
+	return nw.Dial(addr)
 }
 
 // TCPNetwork is the production Network: real sockets.
@@ -133,7 +166,7 @@ type Meter struct {
 	written, read              *metrics.Counter
 	dialRetries, acceptRetries *metrics.Counter
 	dropouts, recoveries       *metrics.Counter
-	stragglers                 *metrics.Counter
+	stragglers, rejoins        *metrics.Counter
 	frames, bytes              [int(wire.GlobalAggregate) + 1]*metrics.Counter
 }
 
@@ -153,6 +186,7 @@ func NewMeter(reg *metrics.Registry) *Meter {
 		dropouts:      reg.Counter("fel_fednode_dropouts_total"),
 		recoveries:    reg.Counter("fel_fednode_recoveries_total"),
 		stragglers:    reg.Counter("fel_fednode_straggler_timeouts_total"),
+		rejoins:       reg.Counter("fel_fednode_rejoins_total"),
 	}
 	for t := wire.GlobalModel; t <= wire.GlobalAggregate; t++ {
 		tl := metrics.L("type", t.String())
@@ -170,6 +204,16 @@ func (m *Meter) Registry() *metrics.Registry { return m.reg }
 func (m *Meter) countFrame(t wire.Type, n int) {
 	m.frames[t].Inc()
 	m.bytes[t].Add(int64(n))
+}
+
+// countDecodeError classifies a failed frame decode into
+// fel_wire_decode_errors_total{reason} via wire.ErrorClass. A clean EOF is
+// shutdown, not an error, and is not counted; a fault-injection run can pin
+// these counters against the number of corruptions it injected.
+func (m *Meter) countDecodeError(err error) {
+	if class := wire.ErrorClass(err); class != "" && class != "eof" {
+		m.reg.Counter("fel_wire_decode_errors_total", metrics.L("reason", class)).Inc()
+	}
 }
 
 // Written returns the total bytes written to metered conns.
@@ -219,26 +263,56 @@ func meter(conn net.Conn, m *Meter) net.Conn {
 	return &meteredConn{Conn: conn, m: m}
 }
 
-// dialRetry dials addr with bounded exponential backoff, absorbing the
-// startup races of a distributed launch (an edge dialing the cloud before
-// its listener is up) and transient refusals. The backoff schedule is fixed
-// — no randomized jitter — so runs replay deterministically apart from
-// wall-clock time. Retries land in m's fel_net_dial_retries_total (m may
-// be nil).
-func dialRetry(nw Network, addr string, attempts int, backoff time.Duration, m *Meter) (net.Conn, error) {
+// retryBackoff returns the pause before retry i (1-based): the capped
+// exponential schedule, with the top half of each step replaced by a draw
+// from rng. Jitter matters under faults: when a partition heals, every
+// client of an edge wakes in the same backoff tick, and an unjittered
+// schedule stampedes them onto the listener in one burst. The draw comes
+// from a per-node seeded RNG, not the global clock, so reconnect schedules
+// stay deterministic per node while distinct across nodes. A nil rng keeps
+// the fixed schedule.
+func retryBackoff(base time.Duration, i int, rng *stats.RNG) time.Duration {
+	d := base
+	for step := 1; step < i && d < time.Second; step++ {
+		d *= 2
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	if rng == nil || d < 2 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.IntN(int(half)))
+}
+
+// dialSeed derives a node's backoff-jitter RNG seed from the job seed and
+// its tag — deterministic per node, decorrelated across nodes.
+func dialSeed(seed uint64, tag string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(tag); i++ {
+		h ^= uint64(tag[i])
+		h *= 1099511628211
+	}
+	return seed ^ h
+}
+
+// dialRetry dials addr as fromTag with bounded, jittered exponential
+// backoff, absorbing the startup races of a distributed launch (an edge
+// dialing the cloud before its listener is up), transient refusals, and
+// partition-heal reconnect bursts. Retries land in m's
+// fel_net_dial_retries_total (m may be nil).
+func dialRetry(nw Network, fromTag, addr string, attempts int, backoff time.Duration, m *Meter, rng *stats.RNG) (net.Conn, error) {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			if m != nil {
 				m.dialRetries.Inc()
 			}
-			time.Sleep(backoff)
-			if backoff < time.Second {
-				backoff *= 2
-			}
+			time.Sleep(retryBackoff(backoff, i, rng))
 		}
 		var c net.Conn
-		c, err = nw.Dial(addr)
+		c, err = dialTagged(nw, fromTag, addr)
 		if err == nil {
 			return c, nil
 		}

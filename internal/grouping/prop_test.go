@@ -1,0 +1,158 @@
+package grouping
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/stats"
+)
+
+// This file pins Alg. 2's structural guarantees as properties over
+// randomized seeded populations, complementing grouping_test.go's
+// example-based cases.
+//
+// A note on the merge property: the tempting invariant "merging any two
+// formed groups never lowers the achieved max CoV" is FALSE for Alg. 2 —
+// empirically ~25% of pairwise merges involving a stuck high-CoV group
+// lower the max, because the greedy grows groups one client at a time and
+// never reconsiders whole-group unions. What the greedy actually
+// guarantees, and what TestCoVGroupingGreedyLocalOptimum pins, is
+// single-client local optimality: a non-final group finalized above MaxCoV
+// stopped because no remaining pool client improved its CoV, and every
+// member of every later-formed group was in that pool at the time.
+
+// randomClients builds a seeded population of synthetic clients with
+// skewed label histograms — one to three dominant classes plus a thin
+// uniform tail, the non-IID regime CoV grouping exists for.
+func randomClients(n, classes int, rng *stats.RNG) []*data.Client {
+	clients := make([]*data.Client, n)
+	for i := 0; i < n; i++ {
+		counts := make([]float64, classes)
+		total := 0
+		dom := 1 + rng.IntN(3)
+		for d := 0; d < dom; d++ {
+			c := rng.IntN(classes)
+			k := 5 + rng.IntN(30)
+			counts[c] += float64(k)
+			total += k
+		}
+		for c := 0; c < classes; c++ {
+			if rng.Float64() < 0.3 {
+				counts[c]++
+				total++
+			}
+		}
+		clients[i] = &data.Client{ID: i, Indices: make([]int, total), Counts: counts}
+	}
+	return clients
+}
+
+// propCases enumerates the randomized configurations the properties run
+// over: varied population sizes, class counts, and both leftover policies.
+func propCases(f func(t *testing.T, seed uint64, clients []*data.Client, classes int, alg CoVGrouping)) func(*testing.T) {
+	return func(t *testing.T) {
+		for seed := uint64(0); seed < 120; seed++ {
+			rng := stats.NewRNG(seed)
+			classes := 4 + int(seed%7)
+			n := 12 + int(seed%49)
+			clients := randomClients(n, classes, rng)
+			alg := CoVGrouping{Config: Config{
+				MinGS:         2 + int(seed%3),
+				MaxCoV:        0.3 + 0.1*float64(seed%4),
+				MergeLeftover: seed%2 == 0,
+			}}
+			f(t, seed, clients, classes, alg)
+		}
+	}
+}
+
+// TestCoVGroupingPartitionProperty: every client appears in exactly one
+// group — no drops, no duplicates — and group IDs are densely renumbered
+// from firstID, including after a leftover merge.
+func TestCoVGroupingPartitionProperty(t *testing.T) {
+	propCases(func(t *testing.T, seed uint64, clients []*data.Client, classes int, alg CoVGrouping) {
+		const firstID = 5
+		groups := alg.Form(clients, classes, 0, firstID, stats.NewRNG(seed+1000))
+		seen := make(map[int]int)
+		for i, g := range groups {
+			if g.ID != firstID+i {
+				t.Fatalf("seed %d: group %d has ID %d, want dense renumbering from %d", seed, i, g.ID, firstID)
+			}
+			for _, c := range g.Clients {
+				seen[c.ID]++
+			}
+		}
+		if len(seen) != len(clients) {
+			t.Fatalf("seed %d: %d clients assigned, population has %d", seed, len(seen), len(clients))
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("seed %d: client %d assigned %d times", seed, id, n)
+			}
+		}
+	})(t)
+}
+
+// TestCoVGroupingSizeFloor: with MergeLeftover every group satisfies
+// |g| >= MinGS whenever more than one group exists (a lone group may be
+// smaller than MinGS only when the whole population is); without it, only
+// the last-formed group may be undersized.
+func TestCoVGroupingSizeFloor(t *testing.T) {
+	propCases(func(t *testing.T, seed uint64, clients []*data.Client, classes int, alg CoVGrouping) {
+		groups := alg.Form(clients, classes, 0, 0, stats.NewRNG(seed+2000))
+		for i, g := range groups {
+			if g.Size() >= alg.MinGS {
+				continue
+			}
+			if len(groups) == 1 && len(clients) < alg.MinGS {
+				continue // population itself is below the floor
+			}
+			if !alg.MergeLeftover && i == len(groups)-1 {
+				continue // documented leftover: only the final group may be short
+			}
+			t.Fatalf("seed %d (merge=%v): group %d has %d clients, floor is %d",
+				seed, alg.MergeLeftover, i, g.Size(), alg.MinGS)
+		}
+	})(t)
+}
+
+// TestCoVGroupingGreedyLocalOptimum pins the adapted merge property (see
+// the file comment): for every non-final group finalized above the MaxCoV
+// bound, no single client of any later-formed group would have lowered its
+// CoV — those clients were all still in the pool when the greedy chose to
+// stop, so an improvement would contradict Alg. 2 line 6. MergeLeftover is
+// off here: redistribution mutates earlier groups after finalization, which
+// (correctly) voids the formation-time invariant.
+func TestCoVGroupingGreedyLocalOptimum(t *testing.T) {
+	checks := 0
+	for seed := uint64(0); seed < 120; seed++ {
+		rng := stats.NewRNG(seed)
+		classes := 4 + int(seed%7)
+		clients := randomClients(16+int(seed%40), classes, rng)
+		alg := CoVGrouping{Config: Config{MinGS: 3, MaxCoV: 0.3 + 0.1*float64(seed%4), MergeLeftover: false}}
+		groups := alg.Form(clients, classes, 0, 0, rng)
+		trial := make([]float64, classes)
+		for i, g := range groups[:max(len(groups)-1, 0)] {
+			cur := g.CoV()
+			if cur <= alg.MaxCoV {
+				continue // finalized by meeting the requirement, not by giving up
+			}
+			for _, h := range groups[i+1:] {
+				for _, c := range h.Clients {
+					checks++
+					copy(trial, g.Counts)
+					for y, n := range c.Counts {
+						trial[y] += n
+					}
+					if got := stats.CoVOfCounts(trial); got < cur-1e-12 {
+						t.Fatalf("seed %d: group %d stuck at CoV %.6f, but adding later client %d improves it to %.6f — greedy stop was not locally optimal",
+							seed, i, cur, c.ID, got)
+					}
+				}
+			}
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no stuck groups across all seeds: property was never exercised")
+	}
+}

@@ -1,0 +1,102 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Window is one timed deviation of a link from its base parameters, over
+// the half-open simulated-time interval [Start, End). During the window the
+// link runs with the window's Latency and Bandwidth instead of the base
+// values. Bandwidth 0 marks an outage: nothing can depart until the window
+// ends — the modeled-time analog of a faultnet partition with a heal time.
+type Window struct {
+	Start, End float64
+	Latency    float64
+	Bandwidth  float64
+}
+
+// outage reports whether the window blocks the link entirely.
+func (w Window) outage() bool { return w.Bandwidth <= 0 }
+
+// DynamicLink is a link whose parameters change over simulated time:
+// a base Link plus a sorted list of non-overlapping deviation windows.
+// The zero list makes it behave exactly like its base, so existing static
+// callers (internal/hfl's round-time model) are unaffected.
+type DynamicLink struct {
+	Base    Link
+	Windows []Window
+}
+
+// Validate rejects unusable dynamic links: the base must validate, every
+// window must be a proper interval with sane parameters, and windows must
+// be sorted and non-overlapping (so the state at any instant is unique).
+func (d DynamicLink) Validate() error {
+	if err := d.Base.Validate(); err != nil {
+		return err
+	}
+	for i, w := range d.Windows {
+		if !(w.Start < w.End) {
+			return fmt.Errorf("simnet: window %d is not a proper interval [%g, %g)", i, w.Start, w.End)
+		}
+		if w.Latency < 0 || w.Bandwidth < 0 {
+			return fmt.Errorf("simnet: window %d has negative parameters", i)
+		}
+		if i > 0 && w.Start < d.Windows[i-1].End {
+			return fmt.Errorf("simnet: window %d overlaps window %d (start %g < previous end %g)",
+				i, i-1, w.Start, d.Windows[i-1].End)
+		}
+	}
+	return nil
+}
+
+// At returns the effective link at simulated time t. When t falls inside an
+// outage window, ok is false and healAt is when the outage lifts; the
+// returned Link is then the base (what the link becomes once healed,
+// barring a follow-on window).
+func (d DynamicLink) At(t float64) (link Link, ok bool, healAt float64) {
+	// Windows are sorted by Start; find the last window starting at or
+	// before t.
+	i := sort.Search(len(d.Windows), func(i int) bool { return d.Windows[i].Start > t })
+	if i > 0 {
+		w := d.Windows[i-1]
+		if t < w.End {
+			if w.outage() {
+				return d.Base, false, w.End
+			}
+			return Link{Latency: w.Latency, Bandwidth: w.Bandwidth}, true, 0
+		}
+	}
+	return d.Base, true, 0
+}
+
+// TransferTimeAt returns the time to move the payload when the transfer is
+// requested at simulated time t: any outage in force defers departure to
+// its heal time (chained outages accumulate), and the transfer then runs at
+// the link state in force at the actual departure. A window that opens or
+// closes mid-transfer does not reshape a transfer already in flight — the
+// same granularity at which faultnet injects per-frame delays.
+func (d DynamicLink) TransferTimeAt(t float64, bytes int) float64 {
+	depart := t
+	for {
+		link, ok, healAt := d.At(depart)
+		if ok {
+			return (depart - t) + link.TransferTime(bytes)
+		}
+		if math.IsInf(healAt, 1) {
+			return math.Inf(1)
+		}
+		depart = healAt
+	}
+}
+
+// SendVia schedules msg on s departing at time `at` across a dynamic link,
+// honoring the link state (and any outage deferral) at departure.
+// Simulator.Send is untouched: static-topology callers keep their exact
+// behavior, and SendVia composes with it by folding the computed total into
+// a pure-latency link.
+func SendVia(s *Simulator, at float64, msg Message, d DynamicLink) {
+	total := d.TransferTimeAt(at, msg.Bytes)
+	s.Send(at, msg, Link{Latency: total, Bandwidth: math.Inf(1)})
+}

@@ -1,0 +1,131 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("%s = %g, want %g", what, got, want)
+	}
+}
+
+func TestDynamicLinkValidate(t *testing.T) {
+	base := Link{Latency: 0.01, Bandwidth: 1e6}
+	cases := []struct {
+		name string
+		d    DynamicLink
+		ok   bool
+	}{
+		{"no windows", DynamicLink{Base: base}, true},
+		{"sorted windows", DynamicLink{Base: base, Windows: []Window{
+			{Start: 1, End: 2, Latency: 0.1, Bandwidth: 1e5},
+			{Start: 2, End: 3, Bandwidth: 0},
+		}}, true},
+		{"bad base", DynamicLink{Base: Link{Bandwidth: -1}}, false},
+		{"empty interval", DynamicLink{Base: base, Windows: []Window{{Start: 2, End: 2, Bandwidth: 1}}}, false},
+		{"inverted interval", DynamicLink{Base: base, Windows: []Window{{Start: 3, End: 2, Bandwidth: 1}}}, false},
+		{"negative latency", DynamicLink{Base: base, Windows: []Window{{Start: 1, End: 2, Latency: -1, Bandwidth: 1}}}, false},
+		{"overlap", DynamicLink{Base: base, Windows: []Window{
+			{Start: 1, End: 3, Bandwidth: 1},
+			{Start: 2, End: 4, Bandwidth: 1},
+		}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.d.Validate(); (err == nil) != tc.ok {
+			t.Fatalf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestDynamicLinkMatchesBaseOutsideWindows(t *testing.T) {
+	d := DynamicLink{
+		Base:    Link{Latency: 0.01, Bandwidth: 1e6},
+		Windows: []Window{{Start: 5, End: 6, Latency: 0.5, Bandwidth: 1e3}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Base.TransferTime(2000)
+	approx(t, d.TransferTimeAt(0, 2000), want, "before the window")
+	approx(t, d.TransferTimeAt(6, 2000), want, "at the window's end (half-open)")
+	approx(t, d.TransferTimeAt(100, 2000), want, "long after")
+}
+
+func TestDynamicLinkDegradedWindow(t *testing.T) {
+	d := DynamicLink{
+		Base:    Link{Latency: 0.01, Bandwidth: 1e6},
+		Windows: []Window{{Start: 5, End: 6, Latency: 0.5, Bandwidth: 1e3}},
+	}
+	want := Link{Latency: 0.5, Bandwidth: 1e3}.TransferTime(2000)
+	approx(t, d.TransferTimeAt(5, 2000), want, "at window start")
+	approx(t, d.TransferTimeAt(5.9, 2000), want, "inside window")
+}
+
+func TestDynamicLinkOutageDefersDeparture(t *testing.T) {
+	d := DynamicLink{
+		Base:    Link{Latency: 0.01, Bandwidth: 1e6},
+		Windows: []Window{{Start: 2, End: 3.5, Bandwidth: 0}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Requested mid-outage: wait for the heal, then transfer at base speed.
+	want := (3.5 - 2.5) + d.Base.TransferTime(1000)
+	approx(t, d.TransferTimeAt(2.5, 1000), want, "transfer requested mid-outage")
+}
+
+func TestDynamicLinkChainedOutages(t *testing.T) {
+	d := DynamicLink{
+		Base: Link{Latency: 0.01, Bandwidth: 1e6},
+		Windows: []Window{
+			{Start: 1, End: 2, Bandwidth: 0},
+			{Start: 2, End: 3, Bandwidth: 0},
+			{Start: 3, End: 4, Latency: 0.2, Bandwidth: 1e6},
+		},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Departure at 1.5 rides out both outages and leaves into the degraded
+	// window that starts exactly at the heal.
+	want := (3 - 1.5) + Link{Latency: 0.2, Bandwidth: 1e6}.TransferTime(1000)
+	approx(t, d.TransferTimeAt(1.5, 1000), want, "chained outages then degraded window")
+}
+
+// TestSendViaDeliversAtDynamicTime wires a dynamic link into the event
+// queue: delivery timestamps must equal the departure time plus
+// TransferTimeAt, outage deferral included, and Simulator.Send's static
+// behavior must be unchanged for other traffic.
+func TestSendViaDeliversAtDynamicTime(t *testing.T) {
+	s := New()
+	var deliveries []float64
+	s.AddNode("edge", func(_ *Simulator, at float64, _ Message) {
+		deliveries = append(deliveries, at)
+	})
+	d := DynamicLink{
+		Base:    Link{Latency: 0.1, Bandwidth: 1e3},
+		Windows: []Window{{Start: 1, End: 2, Bandwidth: 0}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msg := Message{From: "client", To: "edge", Kind: "update", Bytes: 500}
+	SendVia(s, 0, msg, d)   // before the outage: plain base transfer
+	SendVia(s, 1.5, msg, d) // mid-outage: deferred to the heal at t=2
+	s.Send(0.05, msg, d.Base)
+	end := s.Run()
+
+	if len(deliveries) != 3 {
+		t.Fatalf("delivered %d messages, want 3", len(deliveries))
+	}
+	approx(t, deliveries[0], 0+d.Base.TransferTime(500), "dynamic send before outage")
+	approx(t, deliveries[1], 0.05+d.Base.TransferTime(500), "static Send unchanged")
+	approx(t, deliveries[2], 1.5+(2-1.5)+d.Base.TransferTime(500), "dynamic send deferred by outage")
+	approx(t, end, deliveries[2], "final simulated time")
+	if s.Delivered != 3 {
+		t.Fatalf("Delivered = %d, want 3", s.Delivered)
+	}
+}

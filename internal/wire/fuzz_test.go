@@ -1,0 +1,135 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultnet"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// fuzzMaxFrame keeps the fuzzer from allocating per the header's own
+// claimed payload length.
+const fuzzMaxFrame = 1 << 20
+
+// encodeFrame builds one valid frame for the corpus.
+func encodeFrame(tb testing.TB, m *wire.Message) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if _, err := wire.Encode(&buf, m); err != nil {
+		tb.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// corpusMessages covers all six message types with every vector population
+// the codec distinguishes: floats only, words only, ints only, all three,
+// all empty, and special float values.
+func corpusMessages() []*wire.Message {
+	return []*wire.Message{
+		{Type: wire.GlobalModel, Round: 0, Seq: 0, From: -1, Floats: []float64{0.5, -1.25, 3e-9}},
+		{Type: wire.GroupAssign, Round: 1, Seq: 0, From: 4, Ints: []int32{0, 7, 11}},
+		{Type: wire.MaskedUpdate, Round: 2, Seq: 1, From: 9, Words: []uint64{1, 1<<61 - 1, 42}},
+		{Type: wire.ShareReveal, Round: 3, Seq: 0, From: 2, Words: []uint64{5, 6}, Ints: []int32{1}},
+		{Type: wire.GroupAggregate, Round: 4, Seq: 1, From: 0, Floats: []float64{math.Inf(1), math.NaN(), -0.0}},
+		{Type: wire.GlobalAggregate, Round: 5, Seq: 0, From: -1, Floats: []float64{1}, Words: []uint64{2}, Ints: []int32{3}},
+	}
+}
+
+// FuzzDecodeFrame asserts the decoder's contract over arbitrary bytes:
+// it never panics, every failure maps to a named error class, and every
+// successful decode re-encodes to a frame that decodes back to the same
+// message. The corpus seeds valid frames of every type plus frames mangled
+// by the faultnet mutators, so the fuzzer starts at the exact boundaries
+// the chaos harness exercises at runtime.
+func FuzzDecodeFrame(f *testing.F) {
+	rng := stats.NewRNG(0xFE1D)
+	for _, m := range corpusMessages() {
+		frame := encodeFrame(f, m)
+		f.Add(frame)
+		f.Add(faultnet.CorruptBits(frame, 3, rng))
+		f.Add(faultnet.TruncateFrame(frame, rng))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFE}, wire.HeaderSize))
+	f.Add(bytes.Repeat([]byte{0x00}, wire.HeaderSize+20))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := wire.Decode(bytes.NewReader(data), fuzzMaxFrame)
+		if err != nil {
+			if class := wire.ErrorClass(err); class == "" || class == "timeout" {
+				t.Fatalf("Decode error %v maps to class %q; every decode failure needs a real class", err, class)
+			}
+			return
+		}
+		reframed := encodeFrame(t, m)
+		m2, err := wire.Decode(bytes.NewReader(reframed), fuzzMaxFrame)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if m2.Type != m.Type || m2.Round != m.Round || m2.Seq != m.Seq || m2.From != m.From {
+			t.Fatalf("round trip changed envelope: %+v vs %+v", m, m2)
+		}
+		if len(m2.Floats) != len(m.Floats) || len(m2.Words) != len(m.Words) || len(m2.Ints) != len(m.Ints) {
+			t.Fatalf("round trip changed vector lengths: %+v vs %+v", m, m2)
+		}
+		for i := range m.Floats {
+			if math.Float64bits(m2.Floats[i]) != math.Float64bits(m.Floats[i]) {
+				t.Fatalf("float %d changed: %x vs %x", i, math.Float64bits(m.Floats[i]), math.Float64bits(m2.Floats[i]))
+			}
+		}
+		for i := range m.Words {
+			if m2.Words[i] != m.Words[i] {
+				t.Fatalf("word %d changed: %d vs %d", i, m.Words[i], m2.Words[i])
+			}
+		}
+		for i := range m.Ints {
+			if m2.Ints[i] != m.Ints[i] {
+				t.Fatalf("int %d changed: %d vs %d", i, m.Ints[i], m2.Ints[i])
+			}
+		}
+	})
+}
+
+// TestCorruptionsAlwaysRejected pins the CRC property the fuzz corpus leans
+// on: for every message type and many seeds, payload bit flips of one to
+// three bits are always caught. CRC32-IEEE has Hamming distance >= 4 at
+// these frame sizes, so detection must be certain, not probabilistic.
+func TestCorruptionsAlwaysRejected(t *testing.T) {
+	for _, m := range corpusMessages() {
+		frame := encodeFrame(t, m)
+		for seed := uint64(0); seed < 64; seed++ {
+			rng := stats.NewRNG(seed)
+			flips := 1 + 2*int(seed%2) // odd, so flips can never cancel to a net no-op
+			bad := faultnet.CorruptBits(frame, flips, rng)
+			if bytes.Equal(bad, frame) {
+				t.Fatalf("type %v seed %d: mutator flipped nothing", m.Type, seed)
+			}
+			_, err := wire.Decode(bytes.NewReader(bad), fuzzMaxFrame)
+			if !errors.Is(err, wire.ErrChecksum) {
+				t.Fatalf("type %v seed %d flips %d: corrupted frame decoded with err=%v, want ErrChecksum", m.Type, seed, flips, err)
+			}
+		}
+	}
+}
+
+// TestTruncationsAlwaysRejected is the same pin for the truncation mutator:
+// a strict prefix of a frame must never decode as a message.
+func TestTruncationsAlwaysRejected(t *testing.T) {
+	for _, m := range corpusMessages() {
+		frame := encodeFrame(t, m)
+		for seed := uint64(0); seed < 64; seed++ {
+			bad := faultnet.TruncateFrame(frame, stats.NewRNG(seed))
+			if len(bad) >= len(frame) {
+				t.Fatalf("type %v seed %d: mutator did not shorten the frame", m.Type, seed)
+			}
+			_, err := wire.Decode(bytes.NewReader(bad), fuzzMaxFrame)
+			if !errors.Is(err, wire.ErrTruncated) {
+				t.Fatalf("type %v seed %d: truncated frame decoded with err=%v, want ErrTruncated", m.Type, seed, err)
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"net"
 )
 
 // Type identifies one message of the Alg. 1 vocabulary.
@@ -185,7 +186,10 @@ func Decode(r io.Reader, maxFrame int) (*Message, error) {
 		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+		// Wrap (not flatten) the transport error: a net.Error timeout must
+		// stay visible through errors.As so callers can tell a straggler
+		// deadline from a torn frame.
+		return nil, fmt.Errorf("%w: header: %w", ErrTruncated, err)
 	}
 	if got := binary.BigEndian.Uint16(hdr[0:]); got != Magic {
 		return nil, fmt.Errorf("%w: 0x%04x", ErrBadMagic, got)
@@ -206,7 +210,7 @@ func Decode(r io.Reader, maxFrame int) (*Message, error) {
 	}
 	p := make([]byte, payLen)
 	if _, err := io.ReadFull(r, p); err != nil {
-		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+		return nil, fmt.Errorf("%w: payload: %w", ErrTruncated, err)
 	}
 	if got, want := crc32.ChecksumIEEE(p), binary.BigEndian.Uint32(hdr[12:]); got != want {
 		return nil, fmt.Errorf("%w: got 0x%08x, want 0x%08x", ErrChecksum, got, want)
@@ -256,6 +260,40 @@ func Decode(r io.Reader, maxFrame int) (*Message, error) {
 		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrMalformed, payLen-off)
 	}
 	return m, nil
+}
+
+// ErrorClass maps a Decode error to a short stable label, the reason
+// dimension of fel_wire_decode_errors_total. A nil error maps to "", a clean
+// io.EOF to "eof", and a net.Error timeout to "timeout" even when wrapped in
+// ErrTruncated — a straggler deadline is not a torn frame. Everything the
+// codec itself diagnoses keeps its sentinel's name; unrecognized transport
+// failures fall back to "io".
+func ErrorClass(err error) string {
+	var ne net.Error
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	case errors.Is(err, ErrBadMagic):
+		return "bad_magic"
+	case errors.Is(err, ErrVersion):
+		return "version"
+	case errors.Is(err, ErrBadType):
+		return "bad_type"
+	case errors.Is(err, ErrTooLarge):
+		return "too_large"
+	case errors.Is(err, ErrChecksum):
+		return "checksum"
+	case errors.Is(err, ErrTruncated):
+		return "truncated"
+	case errors.Is(err, ErrMalformed):
+		return "malformed"
+	case errors.Is(err, io.EOF):
+		return "eof"
+	default:
+		return "io"
+	}
 }
 
 // vectorLen reads a vector's element count at p[off:] and checks that
