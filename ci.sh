@@ -5,8 +5,11 @@
 #   1. go build        — everything compiles
 #   2. go vet          — stock vet findings
 #   3. repolint        — the project's own invariants (internal/lint):
-#                        rng-discipline, naked-goroutine, float-eq,
-#                        dropped-error, panic-message
+#                        rng-discipline, goroutine-join, float-eq,
+#                        dropped-error, panic-message, map-order, wallclock,
+#                        hotpath-alloc, metric-schema, ignore-audit. Runs as
+#                        its own timed stage with a 30s budget so analysis
+#                        cost stays visible as the codebase grows.
 #   4. go test ./...   — tier-1 tests (includes the module-wide lint pass
 #                        and the GOMAXPROCS replay determinism test)
 #   5. go test -race   — race detector over the concurrency-bearing
@@ -43,8 +46,20 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== repolint"
-go run ./cmd/repolint
+echo "== repolint (30s budget)"
+lintdir="$(mktemp -d)"
+trap 'rm -rf "$lintdir"' EXIT
+go build -o "$lintdir/repolint" ./cmd/repolint
+lint_start=$SECONDS
+"$lintdir/repolint"
+lint_elapsed=$(( SECONDS - lint_start ))
+echo "repolint: module-wide pass took ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 30 ]; then
+  echo "ci.sh: repolint exceeded its 30s budget (${lint_elapsed}s)" >&2
+  exit 1
+fi
+rm -rf "$lintdir"
+trap - EXIT
 
 echo "== go test ./..."
 go test ./...

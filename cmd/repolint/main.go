@@ -1,11 +1,17 @@
 // Command repolint runs the repository's custom static-analysis suite
 // (internal/lint) over every package of the module and reports violations
-// with file:line:col positions. It exits non-zero when any violation is
-// found, so it can gate CI (see ci.sh).
+// with file:line:col positions, so it can gate CI (see ci.sh).
 //
 // Usage:
 //
-//	repolint [-dir .] [-rules rule1,rule2] [-json] [-list]
+//	repolint [-dir .] [-analyzers name1,name2] [-json] [-list]
+//
+// Exit codes:
+//
+//	0 — the tree is clean (no diagnostics)
+//	1 — one or more violations were reported
+//	2 — the run itself failed (unknown analyzer name, module load or
+//	    type-check error)
 package main
 
 import (
@@ -20,10 +26,14 @@ import (
 
 func main() {
 	dir := flag.String("dir", ".", "directory inside the module to lint (the whole module is loaded)")
-	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	rules := flag.String("rules", "", "alias for -analyzers (kept for older scripts)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
-	list := flag.Bool("list", false, "list available rules and exit")
+	list := flag.Bool("list", false, "list available analyzers and exit")
 	flag.Parse()
+	if *names == "" {
+		names = rules
+	}
 
 	if *list {
 		for _, a := range lint.All() {
@@ -33,9 +43,9 @@ func main() {
 	}
 
 	analyzers := lint.All()
-	if *rules != "" {
+	if *names != "" {
 		analyzers = analyzers[:0:0]
-		for _, name := range strings.Split(*rules, ",") {
+		for _, name := range strings.Split(*names, ",") {
 			a, err := lint.ByName(strings.TrimSpace(name))
 			if err != nil {
 				fatal(err)
@@ -76,5 +86,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repolint:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

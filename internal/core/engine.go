@@ -276,24 +276,45 @@ func (e *engine) runGroup(g *grouping.Group, globalParams []float64, round int) 
 		})
 		// Rules 3–4: reduce the indexed slots serially in client order.
 		aggSpan := e.reg.Start("fel_core_group_aggregate_seconds", e.edgeLabel(g.Edge))
-		clear(sp.sum)
-		wsum := 0.0
-		for i, c := range g.Clients {
-			if sp.drop[i] {
-				sp.drops++
-				continue
-			}
-			sp.bytes += sp.cbytes[i]
-			w := float64(c.NumSamples())
-			wsum += w
-			tensor.Axpy(w, sp.slots[i], sp.sum)
-		}
-		if wsum > 0 {
-			tensor.ScaleInto(1/wsum, sp.sum, sp.group)
-		}
-		// wsum == 0: every client dropped this group round; the group model
-		// carries over unchanged.
+		reduceGroup(g, sp)
 		aggSpan.End()
 	}
 	return sp
+}
+
+// reduceGroup folds the per-client parameter slots into sp.group by
+// sample-count-weighted average over the clients whose updates arrived,
+// accumulating the space's dropout and uplink accounting as it goes.
+// The reduction is serial in client order, which keeps the float sum
+// bit-identical at any worker count. When every client dropped (wsum 0)
+// the group model carries over unchanged.
+//
+//lint:hotpath
+func reduceGroup(g *grouping.Group, sp *groupSpace) {
+	clear(sp.sum)
+	wsum := 0.0
+	for i, c := range g.Clients {
+		if sp.drop[i] {
+			sp.drops++
+			continue
+		}
+		sp.bytes += sp.cbytes[i]
+		w := float64(c.NumSamples())
+		wsum += w
+		tensor.Axpy(w, sp.slots[i], sp.sum)
+	}
+	if wsum > 0 {
+		tensor.ScaleInto(1/wsum, sp.sum, sp.group)
+	}
+}
+
+// aggregateGlobal folds the selected groups' parameters into next with the
+// unbiased estimator weights (Alg. 1 line 15): next += w_si·group_si,
+// serially in selection order so the float sum is replay-stable.
+//
+//lint:hotpath
+func aggregateGlobal(weights []float64, spaces []*groupSpace, next []float64) {
+	for si, sp := range spaces {
+		tensor.Axpy(weights[si], sp.group, next)
+	}
 }

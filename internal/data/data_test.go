@@ -14,6 +14,7 @@ func TestGeneratorDeterminism(t *testing.T) {
 	a := g1.Sample(20, 1)
 	b := g2.Sample(20, 1)
 	for i := range a.X {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.X[i] != b.X[i] {
 			t.Fatal("same seed+tag must produce identical data")
 		}
@@ -31,6 +32,7 @@ func TestGeneratorTagsIndependent(t *testing.T) {
 	b := g.Sample(50, 2)
 	same := 0
 	for i := range a.X {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.X[i] == b.X[i] {
 			same++
 		}
@@ -118,6 +120,7 @@ func TestBatchShapesAndContent(t *testing.T) {
 	}
 	dim := ds.Dim()
 	for j := 0; j < dim; j++ {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if x.Data[j] != ds.X[3*dim+j] {
 			t.Fatal("batch features misaligned")
 		}
@@ -138,6 +141,7 @@ func TestBatchPanicsOutOfRange(t *testing.T) {
 func TestLabelCounts(t *testing.T) {
 	ds := &Dataset{Y: []int{0, 1, 1, 2, 2, 2}, Classes: 3, SampleShape: []int{1}, X: make([]float64, 6)}
 	c := ds.LabelCounts([]int{0, 1, 2, 3, 4, 5})
+	//lint:ignore float-eq test asserts exact deterministic output
 	if c[0] != 1 || c[1] != 2 || c[2] != 3 {
 		t.Fatalf("LabelCounts = %v", c)
 	}
@@ -167,6 +171,7 @@ func TestDirichletPartitionInvariants(t *testing.T) {
 		}
 		// Counts histogram must agree with actual labels.
 		for y := range counts {
+			//lint:ignore float-eq test asserts exact deterministic output
 			if counts[y] != c.Counts[y] {
 				t.Fatalf("client %d counts mismatch at label %d", c.ID, y)
 			}
@@ -226,6 +231,7 @@ func TestGlobalCounts(t *testing.T) {
 		{Counts: []float64{3, 4}},
 	}
 	g := GlobalCounts(clients, 2)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if g[0] != 4 || g[1] != 6 {
 		t.Fatalf("GlobalCounts = %v", g)
 	}

@@ -18,6 +18,8 @@ type Client struct {
 }
 
 // NumSamples returns the client's data entry count n_i.
+//
+//lint:hotpath
 func (c *Client) NumSamples() int { return len(c.Indices) }
 
 // PartitionConfig controls the non-IID partition of a dataset.

@@ -42,6 +42,7 @@ func acceptAndDecode(t *testing.T, ln net.Listener, count int) <-chan decodeResu
 			out <- decodeResult{err: err}
 			return
 		}
+		//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 		defer conn.Close()
 		for i := 0; i < count; i++ {
 			m, err := wire.Decode(conn, 0)
@@ -86,6 +87,7 @@ func TestCorruptFailsChecksumThenStops(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
+	//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 	defer conn.Close()
 	if _, err := wire.Encode(conn, testMsg(wire.MaskedUpdate, 2, 1, 4)); err != nil {
 		t.Fatalf("encode corrupted frame: %v", err)
@@ -104,6 +106,7 @@ func TestCorruptFailsChecksumThenStops(t *testing.T) {
 	if err != nil {
 		t.Fatalf("redial: %v", err)
 	}
+	//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 	defer conn2.Close()
 	want := testMsg(wire.MaskedUpdate, 2, 2, 4)
 	if _, err := wire.Encode(conn2, want); err != nil {
@@ -208,6 +211,7 @@ func TestReadDelayHonorsDeadlineAsTimeout(t *testing.T) {
 			served <- err
 			return
 		}
+		//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 		defer conn.Close()
 		_, err = wire.Encode(conn, testMsg(wire.GlobalModel, 1, 0, 4))
 		served <- err
@@ -217,6 +221,7 @@ func TestReadDelayHonorsDeadlineAsTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
+	//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 	defer conn.Close()
 	if err := conn.SetReadDeadline(time.Now().Add(80 * time.Millisecond)); err != nil {
 		t.Fatalf("set deadline: %v", err)
@@ -259,6 +264,7 @@ func TestWriteDelayAddsLatency(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
+	//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 	defer conn.Close()
 	start := time.Now()
 	if _, err := wire.Encode(conn, testMsg(wire.GlobalModel, 0, 0, 1)); err != nil {
@@ -293,6 +299,7 @@ func TestPartitionBlocksDialsUntilHeal(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
+	//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 	defer conn.Close()
 
 	start := time.Now()
@@ -343,6 +350,7 @@ func chaosTraffic(t *testing.T, plan *faultnet.Plan) string {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
+	//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 	defer conn.Close()
 	for i := 0; i < frames; i++ {
 		m := testMsg(wire.MaskedUpdate, uint32(i/4), uint32(i%4), 3)
@@ -413,6 +421,7 @@ func TestInjectedFaultsLandInRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
+	//lint:ignore dropped-error test cleanup; close failure is irrelevant here
 	defer conn.Close()
 	for i := 0; i < 2; i++ {
 		if _, err := wire.Encode(conn, testMsg(wire.MaskedUpdate, 0, uint32(i), 2)); err != nil {
@@ -480,6 +489,7 @@ func TestPlanJSONDefaultsAndDelayOnly(t *testing.T) {
 		t.Fatalf("plan mis-parsed: %+v", p)
 	}
 	r := p.Rules[0]
+	//lint:ignore float-eq test asserts exact deterministic output
 	if r.Round != faultnet.MatchAny || r.Seq != faultnet.MatchAny || r.Prob != 1 || r.Flips != 1 {
 		t.Fatalf("rule defaults not applied: %+v", r)
 	}

@@ -96,6 +96,8 @@ type Algorithm interface {
 // FormAll runs alg independently on every edge server's client set,
 // mirroring Alg. 1 lines 2–3, and returns the union of all groups with
 // globally unique IDs.
+//
+//lint:deterministic
 func FormAll(alg Algorithm, edges [][]*data.Client, classes int, rng *stats.RNG) []*Group {
 	var all []*Group
 	for e, clients := range edges {

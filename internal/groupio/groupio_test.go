@@ -22,6 +22,7 @@ func sampleInput(n, classes int) string {
 		counts := make([]int, classes)
 		counts[i%classes] = 10
 		counts[(i+1)%classes] = 5
+		//lint:ignore dropped-error json.Marshal of an int slice cannot fail
 		data, _ := json.Marshal(counts)
 		fmt.Fprintf(&b, `{"id": %d, "counts": %s, "edge": %d}`, i, data, i%2)
 	}
@@ -110,7 +111,10 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg, _ := AlgorithmByName("covg", grouping.Config{MinGS: 3, MaxCoV: 0.5, MergeLeftover: true}, 0)
+	alg, err := AlgorithmByName("covg", grouping.Config{MinGS: 3, MaxCoV: 0.5, MergeLeftover: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := Run(in, alg, sampling.ESRCoV, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -149,8 +153,14 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestOutputWriteRoundTrip(t *testing.T) {
-	in, _ := Parse(strings.NewReader(sampleInput(6, 3)))
-	alg, _ := AlgorithmByName("rg", grouping.Config{MinGS: 3}, 3)
+	in, err := Parse(strings.NewReader(sampleInput(6, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := AlgorithmByName("rg", grouping.Config{MinGS: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := Run(in, alg, sampling.Random, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -249,6 +249,7 @@ func TestDistributedRoundWithDropout(t *testing.T) {
 	// The round still moved the model.
 	moved := false
 	for j := range global {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if res.Params[j] != global[j] {
 			moved = true
 			break
@@ -274,6 +275,7 @@ func TestDistributedRoundDropoutDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := range a.Params {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.Params[j] != b.Params[j] {
 			t.Fatal("dropout path not deterministic")
 		}

@@ -5,8 +5,8 @@ import (
 	"go/types"
 )
 
-// DroppedError flags silently discarded errors in non-test code: calls used
-// as bare statements (or deferred) whose results include an error, and
+// DroppedError flags silently discarded errors, test files included: calls
+// used as bare statements (or deferred) whose results include an error, and
 // assignments that send an error to the blank identifier. A small allowlist
 // covers calls that cannot meaningfully fail: fmt printing to stdout/stderr
 // and writes to strings.Builder / bytes.Buffer, which are documented to
@@ -14,15 +14,12 @@ import (
 // annotated with //lint:ignore dropped-error <reason>.
 var DroppedError = &Analyzer{
 	Name: "dropped-error",
-	Doc:  "flag discarded error returns in non-test code",
+	Doc:  "flag discarded error returns (tests included)",
 	Run:  runDroppedError,
 }
 
 func runDroppedError(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
-		if pass.Pkg.IsTestFile(f) {
-			continue
-		}
+	for _, f := range pass.Pkg.AllFiles() {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
@@ -122,7 +119,7 @@ func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
 	default:
 		return nil
 	}
-	fn, _ := pass.Pkg.Info.Uses[id].(*types.Func)
+	fn, _ := pass.UseOf(id).(*types.Func)
 	return fn
 }
 
@@ -200,7 +197,7 @@ func isStdStream(pass *Pass, e ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	v, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	v, ok := pass.UseOf(sel.Sel).(*types.Var)
 	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
 		return false
 	}

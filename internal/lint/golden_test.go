@@ -23,19 +23,37 @@ func TestGoldenFixtures(t *testing.T) {
 		{RNGDiscipline, "rngdiscipline/bad"},
 		{RNGDiscipline, "rngdiscipline/good"},
 		{RNGDiscipline, "rngdiscipline/internal/stats"},
-		{NakedGoroutine, "nakedgoroutine/bad"},
-		{NakedGoroutine, "nakedgoroutine/good"},
+		{GoroutineJoin, "goroutinejoin/bad"},
+		{GoroutineJoin, "goroutinejoin/good"},
 		{FloatEq, "floateq/bad"},
 		{FloatEq, "floateq/good"},
 		{DroppedError, "droppederr/bad"},
 		{DroppedError, "droppederr/good"},
 		{PanicMessage, "panicmsg/bad"},
 		{PanicMessage, "panicmsg/good"},
+		{MapOrder, "maporder/bad"},
+		{MapOrder, "maporder/good"},
+		{Wallclock, "wallclock/bad"},
+		{Wallclock, "wallclock/good"},
+		{HotpathAlloc, "hotpathalloc/bad"},
+		{HotpathAlloc, "hotpathalloc/good"},
+		{MetricSchema, "metricschema/bad"},
+		{MetricSchema, "metricschema/good"},
 		{FloatEq, "suppress/bad"},
 	}
 	for _, c := range cases {
 		t.Run(c.dir+"/"+c.analyzer.Name, func(t *testing.T) {
-			runFixture(t, c.analyzer, c.dir)
+			runFixture(t, []*Analyzer{c.analyzer}, c.dir)
+		})
+	}
+}
+
+// TestIgnoreAuditFixture exercises the ignore-audit analyzer, which only
+// makes sense alongside at least one rule that can mark directives as used.
+func TestIgnoreAuditFixture(t *testing.T) {
+	for _, dir := range []string{"ignoreaudit/bad", "ignoreaudit/good"} {
+		t.Run(dir, func(t *testing.T) {
+			runFixture(t, []*Analyzer{FloatEq, IgnoreAudit}, dir)
 		})
 	}
 }
@@ -43,13 +61,13 @@ func TestGoldenFixtures(t *testing.T) {
 var wantRe = regexp.MustCompile(`// want ("[^"]*"(?:\s+"[^"]*")*)`)
 var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
 
-func runFixture(t *testing.T, a *Analyzer, rel string) {
+func runFixture(t *testing.T, analyzers []*Analyzer, rel string) {
 	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
 	pkg, err := LoadDir(dir, rel)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags := Check([]*Package{pkg}, []*Analyzer{a})
+	diags := Check([]*Package{pkg}, analyzers)
 	wants := parseWants(t, dir)
 
 	for _, d := range diags {

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc verifies that functions annotated //lint:hotpath are
+// statically free of allocation at the sites the analyzer can detect:
+// make/new/append, composite literals, fmt.Sprintf-family calls, variadic
+// calls that materialize an argument slice, interface boxing of concrete
+// values, string concatenation and string<->[]byte conversions, capturing
+// closures, and go/defer statements. It also closes the property over the
+// call graph: a hotpath function may only call module functions that are
+// themselves //lint:hotpath (stdlib and dynamic calls are outside the
+// check's scope).
+//
+// Two escape hatches keep real zero-alloc code annotatable:
+//
+//   - Cold-path guards: an allocation inside an `if` whose condition tests
+//     capacity (cap(...)/len(...)) or nil-ness is amortized setup — the
+//     steady-state iteration never takes the branch. This matches the
+//     arena/memoization idiom used throughout internal/core and internal/nn.
+//   - Panic arguments: allocating while building a panic message is fine;
+//     the hot path is already dead when it runs.
+//
+// This turns TestSGDEpochsSteadyStateAllocs' single dynamic probe into a
+// whole-codebase static guarantee.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "//lint:hotpath functions must be allocation-free outside cold-path guards and may only call hotpath functions",
+	Run:  runHotpathAlloc,
+}
+
+// sprintfFuncs are fmt functions that allocate their result.
+var sprintfFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func runHotpathAlloc(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	for _, fi := range pass.Mod.Funcs() {
+		if fi.Pkg != pass.Pkg || !fi.Hotpath {
+			continue
+		}
+		checkHotpathBody(pass, fi)
+	}
+}
+
+type hotpathChecker struct {
+	pass *Pass
+	fi   *FuncInfo
+	// cold marks subtree roots (statements/expressions) exempt from the
+	// allocation check: bodies of capacity-guarded ifs and panic arguments.
+	cold map[ast.Node]bool
+}
+
+func checkHotpathBody(pass *Pass, fi *FuncInfo) {
+	c := &hotpathChecker{pass: pass, fi: fi, cold: make(map[ast.Node]bool)}
+	c.markColdRegions(fi.Decl.Body)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil || c.cold[n] {
+			return false // cold subtrees are exempt from all hotpath checks
+		}
+		return c.visit(n)
+	})
+}
+
+// markColdRegions records the bodies of cold-path guards and panic call
+// arguments so the main walk can skip them.
+func (c *hotpathChecker) markColdRegions(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			// Only the guarded body is cold; an else branch runs in steady
+			// state and stays checked.
+			if isColdGuard(c.pass, n.Cond) {
+				c.cold[n.Body] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if b, ok := c.pass.UseOf(id).(*types.Builtin); ok && b.Name() == "panic" {
+					for _, arg := range n.Args {
+						c.cold[arg] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isColdGuard reports whether cond is a capacity/nil test: it contains a
+// cap() or len() call, or a comparison against nil.
+func isColdGuard(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				if b, ok := pass.UseOf(id).(*types.Builtin); ok && (b.Name() == "cap" || b.Name() == "len") {
+					found = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if isNilIdent(pass, n.X) || isNilIdent(pass, n.Y) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := pass.UseOf(id).(*types.Nil)
+	return isNil
+}
+
+// visit applies the allocation checks to one node. Returns whether to
+// recurse.
+func (c *hotpathChecker) visit(n ast.Node) bool {
+	pass := c.pass
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		pass.Reportf(n.Pos(), "go statement in //lint:hotpath %s: spawning a goroutine allocates and schedules; hoist it out of the hot path", c.fi.Obj.Name())
+	case *ast.DeferStmt:
+		pass.Reportf(n.Pos(), "defer in //lint:hotpath %s: defer records allocate per call; use explicit cleanup", c.fi.Obj.Name())
+	case *ast.FuncLit:
+		if !c.litIsDirectStaticArg(n) {
+			if capturesOuter(pass, n) {
+				pass.Reportf(n.Pos(), "capturing closure in //lint:hotpath %s allocates its environment; pass state explicitly or hoist the closure", c.fi.Obj.Name())
+			}
+		}
+		return false // literal body belongs to the closure, checked via its own annotation if any
+	case *ast.CompositeLit:
+		pass.Reportf(n.Pos(), "composite literal in //lint:hotpath %s allocates; reuse a preallocated value", c.fi.Obj.Name())
+		return false
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&composite literal in //lint:hotpath %s allocates; reuse a preallocated value", c.fi.Obj.Name())
+				return false
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t := pass.TypeOf(n.X); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					pass.Reportf(n.Pos(), "string concatenation in //lint:hotpath %s allocates; build strings outside the hot path", c.fi.Obj.Name())
+				}
+			}
+		}
+	case *ast.CallExpr:
+		c.visitCall(n)
+	}
+	return true
+}
+
+// litIsDirectStaticArg reports whether lit appears directly as an argument
+// to a statically resolved call with a func-typed parameter — the callee may
+// be able to inline or stack-allocate it (e.g. rng.Shuffle's swap callback).
+func (c *hotpathChecker) litIsDirectStaticArg(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(c.fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if calleeOf(c.pass.Pkg, call) == nil {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if ast.Unparen(arg) == lit {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// capturesOuter reports whether lit references any variable declared outside
+// its own body.
+func capturesOuter(pass *Pass, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.UseOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level: not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+		}
+		return !captures
+	})
+	return captures
+}
+
+func (c *hotpathChecker) visitCall(call *ast.CallExpr) {
+	pass := c.pass
+	name := c.fi.Obj.Name()
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.UseOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in //lint:hotpath %s allocates; preallocate outside the hot path or guard with a capacity check", name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in //lint:hotpath %s allocates; reuse a preallocated value", name)
+			case "append":
+				pass.Reportf(call.Pos(), "append in //lint:hotpath %s can grow its backing array; preallocate capacity and guard growth with a cap() check", name)
+			}
+			return
+		}
+	}
+
+	// Explicit conversions: string([]byte) / []byte(string) allocate.
+	if tv, ok := pass.constTypeAndValue(call.Fun); ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, pass.TypeOf(call.Args[0])
+		if src != nil && stringBytesConversion(dst, src) {
+			pass.Reportf(call.Pos(), "string<->[]byte conversion in //lint:hotpath %s copies and allocates", name)
+		}
+		if src != nil && types.IsInterface(dst) && !types.IsInterface(src) && !isPointerLike(src) {
+			pass.Reportf(call.Pos(), "conversion to interface in //lint:hotpath %s boxes the value on the heap", name)
+		}
+		return
+	}
+
+	callee := calleeOf(pass.Pkg, call)
+	if callee != nil {
+		// fmt.Sprintf family.
+		if p := callee.Pkg(); p != nil && p.Path() == "fmt" && sprintfFuncs[callee.Name()] {
+			pass.Reportf(call.Pos(), "fmt.%s in //lint:hotpath %s allocates its result; format outside the hot path", callee.Name(), name)
+			return
+		}
+		// Transitive discipline: module callees must be hotpath too.
+		if fi := pass.Mod.FuncInfoOf(callee); fi != nil && !fi.Hotpath {
+			pass.Reportf(call.Pos(), "//lint:hotpath %s calls %s, which is not annotated //lint:hotpath; annotate it (and make it comply) or hoist the call", name, callee.Name())
+		}
+	}
+
+	// Variadic call materializing an argument slice, and interface boxing of
+	// concrete arguments.
+	sig, _ := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		// At least one argument lands in the variadic slot.
+		if len(call.Args) > sig.Params().Len()-1 {
+			pass.Reportf(call.Pos(), "variadic call in //lint:hotpath %s materializes an argument slice per call; use a fixed-arity helper or pass an existing slice with ...", name)
+		}
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if i < np-1 || (i < np && !sig.Variadic()) {
+			pt = sig.Params().At(i).Type()
+		} else if sig.Variadic() && np > 0 {
+			if sl, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok && !call.Ellipsis.IsValid() {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isPointerLike(at) {
+			continue
+		}
+		if tv, ok := pass.constTypeAndValue(arg); ok && tv.Value != nil {
+			continue // untyped constants box to static data, not per-call heap
+		}
+		pass.Reportf(arg.Pos(), "passing concrete %s to interface parameter in //lint:hotpath %s boxes the value on the heap", at.String(), name)
+	}
+}
+
+// callSignature resolves the signature of the called expression.
+func callSignature(pass *Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	t := pass.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// stringBytesConversion reports whether the conversion dst(src) is between
+// string and []byte (either direction).
+func stringBytesConversion(dst, src types.Type) bool {
+	return (isString(dst) && isByteSlice(src)) || (isByteSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isPointerLike reports whether values of t already live behind a pointer or
+// header and thus convert to interfaces without boxing the payload. (The
+// interface word still stores the pointer; only non-pointer payloads force a
+// heap copy.)
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package lint
+
+// IgnoreAudit flags //lint:ignore directives that have gone stale: the named
+// rule ran over the package and the directive suppressed nothing. Stale
+// ignores are how suppression lists rot — the offending code gets fixed or
+// deleted, the directive lingers, and one day it silently swallows a brand
+// new violation on the same line. The audit also rejects directives naming
+// rules that do not exist at all (a typo would otherwise suppress nothing
+// forever without complaint).
+//
+// Check runs this analyzer last, after every other analyzer has had the
+// chance to mark the directives it used, regardless of its position in the
+// analyzer list. When invoked with a filtered rule set (repolint
+// -analyzers), only directives naming rules that actually ran are audited
+// for staleness, so a partial run never mislabels a live directive.
+var IgnoreAudit = &Analyzer{
+	Name: "ignore-audit",
+	Doc:  "//lint:ignore directives must suppress at least one live diagnostic of a rule that ran",
+}
+
+// Run is assigned in init to break the initialization cycle through All().
+func init() { IgnoreAudit.Run = runIgnoreAudit }
+
+func runIgnoreAudit(pass *Pass) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, file := range pass.Pkg.ignoreFiles() {
+		for _, ent := range pass.Pkg.ignores[file] {
+			switch {
+			case !known[ent.rule]:
+				pass.reportAt(ent.pos, "//lint:ignore names unknown rule %q; it suppresses nothing (see repolint -list for valid rules)", ent.rule)
+			case ent.used:
+				// Live directive: it suppressed at least one diagnostic.
+			case pass.ranRules[ent.rule]:
+				pass.reportAt(ent.pos, "stale //lint:ignore %s: the rule ran and this directive suppressed nothing; delete it", ent.rule)
+			}
+		}
+	}
+}

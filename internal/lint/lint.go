@@ -6,18 +6,33 @@
 //   - rng-discipline: all stochasticity flows through the seeded
 //     repro/internal/stats.RNG, so experiment runs are replayable and the
 //     paper's sampling-variance results are the ones actually measured.
-//   - naked-goroutine: every spawned goroutine signals completion and is
-//     joined by its spawner, so parallel aggregation code cannot leak.
-//   - float-eq: no ==/!= on floating-point operands outside test files;
+//   - goroutine-join: every go statement's completion token (WaitGroup or
+//     channel, resolved through go/types) is actually waited on by the
+//     spawner or escapes as a join handle, so parallel code cannot leak.
+//   - float-eq: no ==/!= on floating-point operands (test files included);
 //     numeric comparisons go through the epsilon helpers in internal/stats.
-//   - dropped-error: no silently discarded error returns in non-test code.
+//   - dropped-error: no silently discarded error returns, in tests either.
 //   - panic-message: panics in library packages carry a "pkg: " prefix.
+//   - map-order: a range over a map whose body feeds floating-point
+//     accumulation, an unsorted slice append, or byte/wire encoding is a
+//     determinism violation — iteration order would leak into results.
+//   - wallclock: time.Now/Since/Sleep/... must not be reachable, through
+//     the module call graph, from functions marked //lint:deterministic.
+//   - hotpath-alloc: functions marked //lint:hotpath must be statically
+//     free of allocation at detectable sites and may only call module
+//     functions that are themselves hotpath-annotated.
+//   - metric-schema: literal metric names handed to internal/metrics follow
+//     fel_<layer>_<name> with a known layer and canonical label order.
+//   - ignore-audit: every //lint:ignore directive still suppresses at
+//     least one diagnostic of a rule that ran; stale ignores are flagged.
 //
 // Legitimate exceptions are declared in-source with an auditable
 //
 //	//lint:ignore <rule> <reason>
 //
-// comment on the offending line or the line directly above it.
+// comment on the offending line or the line directly above it. Function
+// roles are declared with //lint:hotpath and //lint:deterministic on the
+// declaration (doc comment or the line above).
 package lint
 
 import (
@@ -55,10 +70,15 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		RNGDiscipline,
-		NakedGoroutine,
+		GoroutineJoin,
 		FloatEq,
 		DroppedError,
 		PanicMessage,
+		MapOrder,
+		Wallclock,
+		HotpathAlloc,
+		MetricSchema,
+		IgnoreAudit,
 	}
 }
 
@@ -77,33 +97,106 @@ func ByName(name string) (*Analyzer, error) {
 	return nil, fmt.Errorf("lint: unknown rule %q (valid: %v)", name, valid)
 }
 
-// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run. Mod
+// gives flow-sensitive analyzers the whole-module view (call graph,
+// annotations, cross-package suppression).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Mod      *Module
 	diags    *[]Diagnostic
+	ranRules map[string]bool // rules the surrounding Check invocation runs
 }
 
-// TypeOf returns the type of expr in the checked package, or nil for
-// expressions outside the type-checked file set (e.g. in test files, which
-// are parsed but not type-checked).
+// TypeOf returns the type of expr, consulting the non-test type information
+// first and the test-unit information second, or nil when expr lies outside
+// both checked file sets.
 func (p *Pass) TypeOf(expr ast.Expr) types.Type {
-	if p.Pkg.Info == nil {
-		return nil
+	return p.Pkg.typeOf(expr)
+}
+
+func (p *Package) typeOf(expr ast.Expr) types.Type {
+	if p.Info != nil {
+		if t := p.Info.TypeOf(expr); t != nil {
+			return t
+		}
 	}
-	return p.Pkg.Info.TypeOf(expr)
+	if p.TestInfo != nil {
+		return p.TestInfo.TypeOf(expr)
+	}
+	return nil
+}
+
+// UseOf resolves an identifier use to its object, consulting the non-test
+// and then the test-unit information.
+func (p *Pass) UseOf(id *ast.Ident) types.Object {
+	return p.Pkg.useOf(id)
+}
+
+func (p *Package) useOf(id *ast.Ident) types.Object {
+	if p.Info != nil {
+		if o := p.Info.Uses[id]; o != nil {
+			return o
+		}
+	}
+	if p.TestInfo != nil {
+		return p.TestInfo.Uses[id]
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier (definition or use) to its object across
+// both type-checked units.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info != nil {
+		if o := p.Pkg.Info.ObjectOf(id); o != nil {
+			return o
+		}
+	}
+	if p.Pkg.TestInfo != nil {
+		return p.Pkg.TestInfo.ObjectOf(id)
+	}
+	return nil
+}
+
+// ConstValue resolves expr's compile-time constant value, if any.
+func (p *Pass) constTypeAndValue(expr ast.Expr) (types.TypeAndValue, bool) {
+	if p.Pkg.Info != nil {
+		if tv, ok := p.Pkg.Info.Types[expr]; ok {
+			return tv, true
+		}
+	}
+	if p.Pkg.TestInfo != nil {
+		if tv, ok := p.Pkg.TestInfo.Types[expr]; ok {
+			return tv, true
+		}
+	}
+	return types.TypeAndValue{}, false
 }
 
 // Reportf records a violation at pos unless an in-scope //lint:ignore
-// directive suppresses it.
+// directive suppresses it. The directive is looked up in the package that
+// owns the position's file — flow-sensitive analyzers may report positions
+// outside the package currently under analysis.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+	p.reportAt(p.Pkg.Fset.Position(pos), format, args...)
+}
+
+// reportAt is Reportf for positions already resolved against the fileset
+// (the ignore-audit pass stores directive positions resolved).
+func (p *Pass) reportAt(position token.Position, format string, args ...any) {
+	owner := p.Pkg
+	if p.Mod != nil {
+		if o := p.Mod.ownerOf(position.Filename); o != nil {
+			owner = o
+		}
+	}
+	if owner.suppressed(p.Analyzer.Name, position) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Rule:    p.Analyzer.Name,
-		File:    p.Pkg.relFile(position.Filename),
+		File:    owner.relFile(position.Filename),
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
@@ -111,15 +204,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Check runs the given analyzers over the given packages and returns all
-// diagnostics sorted by file, line, column, and rule. Malformed
-// //lint:ignore directives are reported as diagnostics too (rule
-// "lint-directive"), so suppressions stay auditable.
+// diagnostics sorted by file, line, column, and rule. Malformed //lint:
+// directives are reported as diagnostics too (rule "lint-directive"), so
+// suppressions stay auditable. The ignore-audit analyzer, when included,
+// runs last — after every other analyzer has had the chance to mark the
+// directives it used — regardless of its position in analyzers.
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := NewModule(pkgs)
 	var diags []Diagnostic
+	ranRules := make(map[string]bool, len(analyzers))
+	audit := false
+	for _, a := range analyzers {
+		if a.Name == IgnoreAudit.Name {
+			audit = true
+			continue
+		}
+		ranRules[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		diags = append(diags, pkg.directiveDiags...)
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+	}
+	for _, a := range analyzers {
+		if a.Name == IgnoreAudit.Name {
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &diags})
+		}
+	}
+	if audit {
+		for _, pkg := range pkgs {
+			IgnoreAudit.Run(&Pass{Analyzer: IgnoreAudit, Pkg: pkg, Mod: mod, diags: &diags, ranRules: ranRules})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

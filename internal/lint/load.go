@@ -14,7 +14,7 @@ import (
 	"strings"
 )
 
-// Package is one loaded and (for its non-test files) type-checked package.
+// Package is one loaded and type-checked package.
 type Package struct {
 	Path string // import path, e.g. "repro/internal/core"
 	Name string // package name from the package clause
@@ -25,15 +25,30 @@ type Package struct {
 	// Files are the non-test files, fully type-checked.
 	Files []*ast.File
 	// TestFiles are _test.go files (internal and external packages alike).
-	// They are parsed with comments but not type-checked, so only purely
-	// syntactic rules apply to them.
+	// They are type-checked in a second phase, after every package of the
+	// module has loaded, into TestInfo.
 	TestFiles []*ast.File
 
 	Types *types.Package
 	Info  *types.Info
+	// TestInfo holds type information for the test units: the in-package
+	// test files checked together with Files, and the external _test
+	// package checked on its own. Pass.TypeOf consults it after Info.
+	TestInfo *types.Info
 
-	ignores        map[string]map[int][]string // filename -> line -> rules
+	ignores        map[string][]*ignoreEntry   // filename -> directives
+	annots         map[string]map[int][]string // filename -> line -> annotations
 	directiveDiags []Diagnostic
+}
+
+// ignoreEntry is one //lint:ignore directive. used flips when the directive
+// actually suppresses a diagnostic, so the ignore-audit pass can flag stale
+// suppressions that no longer cover anything.
+type ignoreEntry struct {
+	rule string
+	line int
+	pos  token.Position
+	used bool
 }
 
 // AllFiles returns the type-checked files followed by the parse-only test
@@ -62,19 +77,45 @@ func (p *Package) relFile(filename string) string {
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore(?:\s+(\S+))?(?:\s+(\S.*))?$`)
 
-// collectDirectives scans a parsed file for //lint:ignore comments. A
-// well-formed directive names a rule and gives a non-empty reason; anything
-// else is itself reported so suppressions cannot silently rot.
+// annotationRe matches the function-level annotation vocabulary:
+// //lint:hotpath and //lint:deterministic, each with an optional trailing
+// rationale.
+var annotationRe = regexp.MustCompile(`^//lint:(hotpath|deterministic)(?:\s+\S.*)?$`)
+
+// collectDirectives scans a parsed file for //lint: comments. A well-formed
+// ignore names a rule and gives a non-empty reason; hotpath/deterministic
+// annotations mark the function they precede. Anything else starting with
+// //lint: is itself reported so directives cannot silently rot.
 func (p *Package) collectDirectives(f *ast.File) {
 	if p.ignores == nil {
-		p.ignores = make(map[string]map[int][]string)
+		p.ignores = make(map[string][]*ignoreEntry)
+		p.annots = make(map[string]map[int][]string)
 	}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, "//lint:ignore") {
+			if !strings.HasPrefix(c.Text, "//lint:") {
 				continue
 			}
 			pos := p.Fset.Position(c.Pos())
+			if m := annotationRe.FindStringSubmatch(c.Text); m != nil {
+				byLine := p.annots[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.annots[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], m[1])
+				continue
+			}
+			if !strings.HasPrefix(c.Text, "//lint:ignore") {
+				p.directiveDiags = append(p.directiveDiags, Diagnostic{
+					Rule:    "lint-directive",
+					File:    p.relFile(pos.Filename),
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Message: "unknown directive: want //lint:ignore <rule> <reason>, //lint:hotpath, or //lint:deterministic",
+				})
+				continue
+			}
 			m := ignoreRe.FindStringSubmatch(c.Text)
 			if m == nil || m[1] == "" || m[2] == "" {
 				p.directiveDiags = append(p.directiveDiags, Diagnostic{
@@ -86,28 +127,64 @@ func (p *Package) collectDirectives(f *ast.File) {
 				})
 				continue
 			}
-			byLine := p.ignores[pos.Filename]
-			if byLine == nil {
-				byLine = make(map[int][]string)
-				p.ignores[pos.Filename] = byLine
-			}
-			byLine[pos.Line] = append(byLine[pos.Line], m[1])
+			p.ignores[pos.Filename] = append(p.ignores[pos.Filename],
+				&ignoreEntry{rule: m[1], line: pos.Line, pos: pos})
 		}
 	}
 }
 
-// suppressed reports whether a directive for rule covers the given position:
-// the directive must sit on the same line or the line directly above.
-func (p *Package) suppressed(rule string, pos token.Position) bool {
-	byLine := p.ignores[pos.Filename]
-	if byLine == nil {
-		return false
+// ignoreFiles returns the filenames that carry //lint:ignore directives in
+// sorted order, so audit diagnostics come out deterministically.
+func (p *Package) ignoreFiles() []string {
+	files := make([]string, 0, len(p.ignores))
+	for f := range p.ignores {
+		files = append(files, f)
 	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, r := range byLine[line] {
-			if r == rule {
-				return true
-			}
+	sort.Strings(files)
+	return files
+}
+
+// suppressed reports whether a directive for rule covers the given position:
+// the directive must sit on the same line or the line directly above. The
+// covering directive is marked used for the ignore-audit pass; a directive
+// may legitimately suppress several diagnostics (e.g. two float comparisons
+// on one line).
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	found := false
+	for _, e := range p.ignores[pos.Filename] {
+		if e.rule == rule && (e.line == pos.Line || e.line == pos.Line-1) {
+			e.used = true
+			found = true
+		}
+	}
+	return found
+}
+
+// FuncAnnotations returns the //lint: annotations (hotpath, deterministic)
+// attached to fd: any annotation line inside fd's doc comment or on the line
+// directly above the declaration.
+func (p *Package) FuncAnnotations(fd *ast.FuncDecl) []string {
+	pos := p.Fset.Position(fd.Pos())
+	byLine := p.annots[pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	start := pos.Line - 1
+	if fd.Doc != nil {
+		start = p.Fset.Position(fd.Doc.Pos()).Line
+	}
+	var out []string
+	for l := start; l <= pos.Line; l++ {
+		out = append(out, byLine[l]...)
+	}
+	return out
+}
+
+// HasAnnotation reports whether fd carries the named //lint: annotation.
+func (p *Package) HasAnnotation(fd *ast.FuncDecl, name string) bool {
+	for _, a := range p.FuncAnnotations(fd) {
+		if a == name {
+			return true
 		}
 	}
 	return false
@@ -240,6 +317,67 @@ func (l *loader) load(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
+// newInfo returns an empty types.Info with every map the analyzers read.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// checkTests type-checks pkg's _test.go files into pkg.TestInfo. It runs as
+// a second phase, after every package of the module has loaded, because
+// external test packages (package foo_test) may import module packages that
+// themselves import foo — a cycle the phase-one loader would reject.
+//
+// In-package test files are checked together with the non-test files as an
+// augmented unit (test code sees unexported identifiers); the resulting
+// *types.Package is discarded — pkg.Types stays the clean non-test unit that
+// other packages import.
+func (l *loader) checkTests(pkg *Package) error {
+	var inPkg, ext []*ast.File
+	for _, f := range pkg.TestFiles {
+		if pkg.Name == "" || f.Name.Name == pkg.Name {
+			inPkg = append(inPkg, f)
+		} else {
+			ext = append(ext, f)
+		}
+	}
+	if len(inPkg)+len(ext) == 0 {
+		return nil
+	}
+	pkg.TestInfo = newInfo()
+	check := func(path string, files []*ast.File) error {
+		var typeErrs []error
+		conf := types.Config{
+			Importer: l,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		//lint:ignore dropped-error type errors are accumulated via conf.Error and reported below
+		_, _ = conf.Check(path, l.fset, files, pkg.TestInfo)
+		if len(typeErrs) > 0 {
+			return fmt.Errorf("lint: type-check %s: %v", path, typeErrs[0])
+		}
+		return nil
+	}
+	if len(inPkg) > 0 {
+		files := make([]*ast.File, 0, len(pkg.Files)+len(inPkg))
+		files = append(files, pkg.Files...)
+		files = append(files, inPkg...)
+		if err := check(pkg.Path+" [test]", files); err != nil {
+			return err
+		}
+	}
+	if len(ext) > 0 {
+		if err := check(pkg.Path+"_test", ext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // goFilesIn lists the .go files of dir in sorted order.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
@@ -308,6 +446,11 @@ func LoadModule(root string) ([]*Package, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
+	for _, pkg := range pkgs {
+		if err := l.checkTests(pkg); err != nil {
+			return nil, err
+		}
+	}
 	return pkgs, nil
 }
 
@@ -320,5 +463,12 @@ func LoadDir(dir, importPath string) (*Package, error) {
 		return nil, err
 	}
 	l := newLoader(abs, importPath)
-	return l.load(abs, importPath)
+	pkg, err := l.load(abs, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.checkTests(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
 }

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MetricSchema validates every literal metric name handed to the
+// internal/metrics registry against the schema PR 3 enforces at runtime:
+// names match fel_<layer>_<name> with a layer from the known set, use only
+// [a-z0-9_], never end in '_', counters end in _total, and Start spans end
+// in _seconds. Labels built in-line with metrics.L must be passed in
+// canonical (sorted-by-key) order so series identity never depends on call
+// sites. Catching these statically means a misspelled layer or a drifting
+// suffix fails repolint instead of panicking the first process that happens
+// to register the metric.
+var MetricSchema = &Analyzer{
+	Name: "metric-schema",
+	Doc:  "literal metric names must match fel_<layer>_<name> with a known layer, canonical suffixes, and sorted labels",
+	Run:  runMetricSchema,
+}
+
+// metricLayers are the architectural layers allowed in metric names,
+// mirroring the package structure: core training, wire codec, simulated
+// network, federation node, secure aggregation, fault injection.
+var metricLayers = map[string]bool{
+	"core": true, "wire": true, "net": true,
+	"fednode": true, "secagg": true, "faultnet": true,
+}
+
+// registryMethods maps internal/metrics Registry methods to the suffix rule
+// class they imply for the name argument.
+var registryMethods = map[string]string{
+	"Counter":      "counter",
+	"CounterValue": "counter",
+	"Gauge":        "gauge",
+	"Histogram":    "histogram",
+	"Start":        "span",
+	"GaugeValue":   "gauge",
+}
+
+func runMetricSchema(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, isRegistryMethod := registryMethods[sel.Sel.Name]
+			if !isRegistryMethod {
+				return true
+			}
+			fn, ok := pass.UseOf(sel.Sel).(*types.Func)
+			if !ok || !declaredInMetrics(fn) {
+				return true
+			}
+			name, ok := constStringValue(pass, call.Args[0])
+			if !ok {
+				return true // dynamic names are the registry's runtime problem
+			}
+			checkMetricName(pass, call.Args[0].Pos(), name, kind)
+			checkLabelOrder(pass, call.Args[1:])
+			return true
+		})
+	}
+}
+
+// declaredInMetrics reports whether fn belongs to the module's
+// internal/metrics package.
+func declaredInMetrics(fn *types.Func) bool {
+	p := fn.Pkg()
+	return p != nil && strings.HasSuffix(p.Path(), "internal/metrics")
+}
+
+func checkMetricName(pass *Pass, pos token.Pos, name, kind string) {
+	if !strings.HasPrefix(name, "fel_") {
+		pass.Reportf(pos, "metric name %q must start with fel_ (schema: fel_<layer>_<name>)", name)
+		return
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			pass.Reportf(pos, "metric name %q contains %q; only [a-z0-9_] is allowed", name, string(r))
+			return
+		}
+	}
+	if strings.HasSuffix(name, "_") {
+		pass.Reportf(pos, "metric name %q must not end with '_'", name)
+		return
+	}
+	rest := strings.TrimPrefix(name, "fel_")
+	layer, _, ok := strings.Cut(rest, "_")
+	if !ok || !metricLayers[layer] {
+		layers := make([]string, 0, len(metricLayers))
+		for l := range metricLayers {
+			layers = append(layers, l)
+		}
+		sort.Strings(layers)
+		pass.Reportf(pos, "metric name %q has unknown layer %q; known layers: %s (schema: fel_<layer>_<name>)", name, layer, strings.Join(layers, ", "))
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter metric %q must end in _total", name)
+		}
+	case "span":
+		if !strings.HasSuffix(name, "_seconds") {
+			pass.Reportf(pos, "span metric %q must end in _seconds (Start measures durations)", name)
+		}
+	case "gauge", "histogram":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "%s metric %q must not end in _total (reserved for counters)", kind, name)
+		}
+	}
+}
+
+// checkLabelOrder flags in-line metrics.L(key, value) label arguments whose
+// constant keys are not in strictly increasing order: label order determines
+// series identity, so call sites must agree on the canonical (sorted) form.
+func checkLabelOrder(pass *Pass, args []ast.Expr) {
+	prevKey := ""
+	havePrev := false
+	for _, arg := range args {
+		call, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return
+		}
+		sel := ast.Unparen(call.Fun)
+		var fnIdent *ast.Ident
+		switch fun := sel.(type) {
+		case *ast.Ident:
+			fnIdent = fun
+		case *ast.SelectorExpr:
+			fnIdent = fun.Sel
+		default:
+			return
+		}
+		fn, ok := pass.UseOf(fnIdent).(*types.Func)
+		if !ok || fn.Name() != "L" || !declaredInMetrics(fn) {
+			return // not an in-line label list; nothing to order-check
+		}
+		key, ok := constStringValue(pass, call.Args[0])
+		if !ok {
+			return
+		}
+		if havePrev && key <= prevKey {
+			pass.Reportf(call.Args[0].Pos(), "label key %q is out of canonical order (previous key %q); pass metrics.L labels sorted by key", key, prevKey)
+			return
+		}
+		prevKey, havePrev = key, true
+	}
+}

@@ -24,9 +24,6 @@ var PanicMessage = &Analyzer{
 			return
 		}
 		for _, f := range pass.Pkg.Files {
-			if pass.Pkg.IsTestFile(f) {
-				continue
-			}
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok || len(call.Args) != 1 {
@@ -36,7 +33,7 @@ var PanicMessage = &Analyzer{
 				if !ok || id.Name != "panic" {
 					return true
 				}
-				if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				if b, ok := pass.UseOf(id).(*types.Builtin); !ok || b.Name() != "panic" {
 					return true
 				}
 				if !panicHasPrefix(pass, call.Args[0]) {
@@ -78,7 +75,7 @@ func panicHasPrefix(pass *Pass, arg ast.Expr) bool {
 // constStringValue resolves arg to a compile-time string constant, through
 // named constants and folded concatenations alike.
 func constStringValue(pass *Pass, arg ast.Expr) (string, bool) {
-	tv, ok := pass.Pkg.Info.Types[arg]
+	tv, ok := pass.constTypeAndValue(arg)
 	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 		return "", false
 	}

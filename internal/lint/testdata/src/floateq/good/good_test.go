@@ -2,10 +2,11 @@ package good
 
 import "testing"
 
-// Test files may compare floats exactly: bit-for-bit determinism tests
-// depend on it.
-func TestExactCompareAllowedInTests(t *testing.T) {
+// Test files are covered too; intentional exact comparisons — bit-for-bit
+// determinism assertions — carry an explicit directive.
+func TestExactCompareNeedsDirective(t *testing.T) {
 	a, b := 0.5, 0.5
+	//lint:ignore float-eq replay assertions compare bit-identical values on purpose
 	if a != b {
 		t.Fatal("identical literals must be bit-identical")
 	}

@@ -1,0 +1,55 @@
+// Package bad spawns goroutines that violate the token join protocol.
+package bad
+
+import "sync"
+
+// Leak fires and forgets: no signal, no join.
+func Leak() {
+	go func() { // want "never signals completion"
+		println("orphan")
+	}()
+}
+
+// NoJoin signals through the WaitGroup but the spawner never waits on it.
+func NoJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "spawner never calls wg.Wait()"
+		defer wg.Done()
+		println("work")
+	}()
+}
+
+// NoSignal joins a channel the goroutine never touches: the goroutine body
+// has no signal, so the receive below proves nothing about it.
+func NoSignal() {
+	done := make(chan struct{})
+	go func() { // want "never signals completion"
+		println("work")
+	}()
+	<-done
+}
+
+// WrongToken signals on one channel and waits on another; per-token
+// resolution catches what a "some receive exists" heuristic would miss.
+func WrongToken() {
+	done := make(chan struct{})
+	other := make(chan struct{}, 1)
+	go func() { // want "spawner never receives from, ranges over, or selects on it"
+		close(done)
+	}()
+	other <- struct{}{}
+	<-other
+}
+
+// NamedNoConsumer spawns a named producer but never drains the channel.
+func NamedNoConsumer() {
+	ch := make(chan int)
+	go produce(ch) // want "the goroutine can leak"
+	println("not consuming")
+}
+
+func produce(ch chan int) {
+	ch <- 1
+	close(ch)
+}

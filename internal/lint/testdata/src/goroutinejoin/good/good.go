@@ -1,0 +1,105 @@
+// Package good shows the accepted goroutine join protocols.
+package good
+
+import "sync"
+
+// WaitGrouped pairs Done with a Wait on the same WaitGroup object.
+func WaitGrouped(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			println("work")
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelSend pairs a send with a receive on the same channel object.
+func ChannelSend() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// Closer pairs close with a receive.
+func Closer() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		println("work")
+	}()
+	<-done
+}
+
+// Named spawns a named module function; the rule resolves its body, maps the
+// signalled parameter back to ch, and finds the range join.
+func Named() int {
+	ch := make(chan int)
+	go produce(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func produce(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+// Selected joins through a select case on the signalled channel.
+func Selected() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	select {
+	case <-done:
+	}
+}
+
+// Handle returns the completion channel: the caller inherits the join duty.
+func Handle() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		println("work")
+	}()
+	return done
+}
+
+// FieldToken signals on a struct field: the owning value outlives the
+// spawner and carries the join handle with it.
+type Worker struct {
+	done chan struct{}
+}
+
+func (w *Worker) Start() {
+	go func() {
+		defer close(w.done)
+		println("work")
+	}()
+}
+
+// MethodState spawns a named method whose completion token is receiver
+// state; the callee owns its join protocol.
+func (w *Worker) run() {
+	close(w.done)
+}
+
+func (w *Worker) StartNamed() {
+	go w.run()
+}
+
+// Daemon is a deliberate fire-and-forget, declared as such.
+func Daemon() {
+	//lint:ignore goroutine-join metrics flusher runs for the process lifetime by design
+	go func() {
+		println("background")
+	}()
+}

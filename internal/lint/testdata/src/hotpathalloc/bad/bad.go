@@ -1,0 +1,76 @@
+// Package bad allocates inside //lint:hotpath functions.
+package bad
+
+import "fmt"
+
+//lint:hotpath
+func MakeSlice(n int) []float64 {
+	return make([]float64, n) // want "make in //lint:hotpath MakeSlice allocates"
+}
+
+//lint:hotpath
+func Grow(dst []int, v int) []int {
+	return append(dst, v) // want "append in //lint:hotpath Grow can grow its backing array"
+}
+
+//lint:hotpath
+func Format(x float64) string {
+	return fmt.Sprintf("%v", x) // want "fmt.Sprintf in //lint:hotpath Format allocates its result"
+}
+
+type vec struct{ x, y float64 }
+
+//lint:hotpath
+func NewVec(x, y float64) *vec {
+	return &vec{x: x, y: y} // want "composite literal in //lint:hotpath NewVec allocates"
+}
+
+//lint:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation in //lint:hotpath Concat allocates"
+}
+
+//lint:hotpath
+func ToBytes(s string) []byte {
+	return []byte(s) // want "conversion in //lint:hotpath ToBytes copies and allocates"
+}
+
+//lint:hotpath
+func Spawn(f func()) {
+	go f() // want "go statement in //lint:hotpath Spawn"
+}
+
+//lint:hotpath
+func Deferred(f func()) {
+	defer f() // want "defer in //lint:hotpath Deferred"
+}
+
+//lint:hotpath
+func Capture(xs []float64) func() float64 {
+	i := 0
+	return func() float64 { // want "capturing closure in //lint:hotpath Capture"
+		i++
+		return xs[i-1]
+	}
+}
+
+//lint:hotpath
+func CallsCold(x float64) float64 {
+	return cold(x) // want "calls cold, which is not annotated //lint:hotpath"
+}
+
+func cold(x float64) float64 { return x * 2 }
+
+//lint:hotpath
+func CallVariadic() int {
+	return sum(1, 2, 3) // want "materializes an argument slice per call"
+}
+
+//lint:hotpath
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+// Package good shows zero-alloc idioms that hotpath-alloc accepts.
+package good
+
+import "fmt"
+
+// Axpy is a fused kernel: pure index arithmetic.
+//
+//lint:hotpath
+func Axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale and Fused show hotpath functions composing freely.
+//
+//lint:hotpath
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+//lint:hotpath
+func Fused(alpha float64, x, y []float64) {
+	Scale(alpha, x)
+	Axpy(alpha, x, y)
+}
+
+// Ensure grows its buffer only behind a capacity guard: the steady state
+// never takes the branch, so the make is amortized cold-path setup.
+//
+//lint:hotpath
+func Ensure(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Lazy memoizes behind a nil guard.
+type state struct{ buf []float64 }
+
+//lint:hotpath
+func (s *state) Get(n int) []float64 {
+	if s.buf == nil {
+		s.buf = make([]float64, n)
+	}
+	return s.buf
+}
+
+// Checked allocates only while building a panic message: the hot path is
+// already dead when the argument is evaluated.
+//
+//lint:hotpath
+func Checked(n, m int) {
+	if n != m {
+		panic(fmt.Sprintf("good: length mismatch %d vs %d", n, m))
+	}
+}
+
+// Visit makes dynamic calls through a func parameter; those are outside the
+// transitive-annotation check by design.
+//
+//lint:hotpath
+func Visit(xs []float64, each func(int, float64)) {
+	for i, x := range xs {
+		each(i, x)
+	}
+}
+
+// UseClosure passes its literal directly to a statically resolved call; the
+// callee can keep it on the stack.
+//
+//lint:hotpath
+func UseClosure(xs []float64) {
+	Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+//lint:hotpath
+func Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, 0)
+	}
+}

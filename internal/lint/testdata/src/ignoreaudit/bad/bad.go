@@ -1,0 +1,23 @@
+// Package bad carries suppression directives that no longer earn their keep.
+package bad
+
+// Stale: the integer comparison below never trips float-eq, so the
+// directive suppresses nothing.
+func Stale(a, b int) bool {
+	//lint:ignore float-eq integers compare exactly
+	// want "stale //lint:ignore float-eq"
+	return a == b
+}
+
+// Typo names a rule that does not exist; the real diagnostic fires anyway.
+func Typo(a, b float64) bool {
+	//lint:ignore floateq misspelled rule name
+	// want "unknown rule"
+	return a == b // want "floating-point"
+}
+
+// Live suppresses a real diagnostic and stays unflagged.
+func Live(a, b float64) bool {
+	//lint:ignore float-eq exact comparison asserts bit-identical replay
+	return a == b
+}

@@ -1,0 +1,9 @@
+// Package good carries only live suppression directives.
+package good
+
+// Exact asserts bit-identical replay; the directive suppresses the real
+// float-eq diagnostic on the comparison line.
+func Exact(a, b float64) bool {
+	//lint:ignore float-eq bit-identical replay check
+	return a == b
+}

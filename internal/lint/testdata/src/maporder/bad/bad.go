@@ -1,0 +1,41 @@
+// Package bad lets map iteration order leak into results.
+package bad
+
+import "strings"
+
+// FloatAccum sums in map order: FP addition is not associative, so the total
+// differs run to run.
+func FloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation inside a map range"
+	}
+	return total
+}
+
+// SpelledOut is the same accumulation written without the compound operator.
+func SpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "floating-point accumulation inside a map range"
+	}
+	return total
+}
+
+// AppendUnsorted collects keys and never sorts them.
+func AppendUnsorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside a map range"
+	}
+	return keys
+}
+
+// Encode writes bytes in map iteration order.
+func Encode(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside a map range"
+	}
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+// Package good iterates maps without letting their order leak out.
+package good
+
+import (
+	"sort"
+	"strings"
+)
+
+// SortedKeys collects keys, sorts them, then accumulates in sorted order.
+// The append inside the range is mitigated by the sort that follows it.
+func SortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// PerKey accumulates into map elements: each key is independent of its
+// siblings, so iteration order cannot change any element's value.
+func PerKey(src, dst map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// IterationLocal resets its accumulator each iteration; order across keys
+// never mixes into one float.
+func IterationLocal(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// LocalEncode builds a fresh per-iteration string; nothing order-sensitive
+// survives the iteration.
+func LocalEncode(m map[string]int, emit func(string)) {
+	for k := range m {
+		var sb strings.Builder
+		sb.WriteString(k)
+		emit(sb.String())
+	}
+}

@@ -1,0 +1,18 @@
+// Package metrics stubs the real registry API so the fixture type-checks.
+package metrics
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry mirrors the real registry's method set.
+type Registry struct{}
+
+func (r *Registry) Counter(name string, labels ...Label)              {}
+func (r *Registry) Gauge(name string, v float64, labels ...Label)     {}
+func (r *Registry) Histogram(name string, v float64, labels ...Label) {}
+func (r *Registry) Start(name string, labels ...Label) func()         { return func() {} }
+func (r *Registry) CounterValue(name string, labels ...Label) float64 { return 0 }
+func (r *Registry) GaugeValue(name string, labels ...Label) float64   { return 0 }

@@ -1,0 +1,21 @@
+// Package bad reads the wall clock on a deterministic path.
+package bad
+
+import "time"
+
+// Train is the replayable entry point.
+//
+//lint:deterministic
+func Train() float64 {
+	return step()
+}
+
+func step() float64 {
+	start := time.Now() // want "time.Now inside step, reachable from //lint:deterministic root Train"
+	work()
+	return time.Since(start).Seconds() // want "time.Since inside step"
+}
+
+func work() {
+	time.Sleep(time.Millisecond) // want "time.Sleep inside work"
+}

@@ -59,6 +59,8 @@ func NewSequential(layers ...Layer) *Sequential {
 }
 
 // Forward runs the batch x through every layer.
+//
+//lint:hotpath
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range s.Layers {
 		x = l.Forward(x, train)
@@ -68,6 +70,8 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward propagates grad back through every layer, accumulating parameter
 // gradients.
+//
+//lint:hotpath
 func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		grad = s.Layers[i].Backward(grad)
@@ -77,6 +81,8 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Params returns all trainable tensors in layer order. The list is memoized;
 // callers must treat it as read-only.
+//
+//lint:hotpath
 func (s *Sequential) Params() []*tensor.Tensor {
 	if s.params == nil {
 		for _, l := range s.Layers {
@@ -91,6 +97,8 @@ func (s *Sequential) Params() []*tensor.Tensor {
 
 // Grads returns all gradient tensors in layer order. The list is memoized;
 // callers must treat it as read-only.
+//
+//lint:hotpath
 func (s *Sequential) Grads() []*tensor.Tensor {
 	if s.grads == nil {
 		for _, l := range s.Layers {
@@ -110,6 +118,8 @@ func (s *Sequential) Clone() *Sequential {
 }
 
 // NumParams returns the total number of scalar parameters.
+//
+//lint:hotpath
 func (s *Sequential) NumParams() int {
 	s.Params()
 	return s.numParams
@@ -126,6 +136,8 @@ func (s *Sequential) ParamVector() []float64 {
 // reallocating only when dst's capacity is short. Passing a reused buffer
 // makes the per-client parameter export in the training hot loop
 // allocation-free; ParamVectorInto(nil) is equivalent to ParamVector.
+//
+//lint:hotpath
 func (s *Sequential) ParamVectorInto(dst []float64) []float64 {
 	n := s.NumParams()
 	if cap(dst) < n {

@@ -121,9 +121,11 @@ func TestBatchNormCloneIndependent(t *testing.T) {
 	bn.RunMean.Data[0] = 5
 	c := bn.Clone().(*BatchNorm)
 	c.RunMean.Data[0] = 9
+	//lint:ignore float-eq test asserts exact deterministic output
 	if bn.RunMean.Data[0] != 5 {
 		t.Fatal("clone shares running stats")
 	}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if c.Gamma.Data[0] != 1 || c.RunVar.Data[1] != 1 {
 		t.Fatal("clone lost initialization")
 	}
@@ -142,6 +144,7 @@ func TestBatchNormParamVectorIncludesRunningStats(t *testing.T) {
 	NewSGD(0.5).Step(net)
 	after := net.Layers[0].(*BatchNorm).RunMean.Data
 	for i := range before {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if before[i] != after[i] {
 			t.Fatal("SGD modified running statistics")
 		}
@@ -171,6 +174,7 @@ func TestDropoutEvalIdentity(t *testing.T) {
 	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
 	y := d.Forward(x, false)
 	for i := range x.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if y.Data[i] != x.Data[i] {
 			t.Fatal("eval-mode dropout must be identity")
 		}
@@ -178,6 +182,7 @@ func TestDropoutEvalIdentity(t *testing.T) {
 	// Backward after eval forward is also identity.
 	g := d.Backward(x)
 	for i := range x.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if g.Data[i] != x.Data[i] {
 			t.Fatal("eval-mode dropout backward must be identity")
 		}
@@ -192,6 +197,7 @@ func TestDropoutTrainRateAndScale(t *testing.T) {
 	y := d.Forward(x, true)
 	zeros, sum := 0, 0.0
 	for _, v := range y.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if v == 0 {
 			zeros++
 		} else if math.Abs(v-1/0.7) > 1e-12 {
@@ -218,6 +224,7 @@ func TestDropoutBackwardMatchesMask(t *testing.T) {
 	g.Fill(1)
 	dx := d.Backward(g)
 	for i := range y.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
 			t.Fatal("backward mask mismatch")
 		}
@@ -233,6 +240,7 @@ func TestDropoutClonesDiverge(t *testing.T) {
 	b := c.Forward(x, true)
 	same := 0
 	for i := range a.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if (a.Data[i] == 0) == (b.Data[i] == 0) {
 			same++
 		}
@@ -271,6 +279,7 @@ func TestTanhSigmoidLeakyGradCheck(t *testing.T) {
 func TestActivationKnownValues(t *testing.T) {
 	x := tensor.FromSlice([]float64{0, 1, -1}, 1, 3)
 	y := NewTanh().Forward(x, false)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if y.Data[0] != 0 || math.Abs(y.Data[1]-math.Tanh(1)) > 1e-15 {
 		t.Fatal("tanh values wrong")
 	}
@@ -279,6 +288,7 @@ func TestActivationKnownValues(t *testing.T) {
 		t.Fatal("sigmoid(0) != 0.5")
 	}
 	l := NewLeakyReLU(0.2).Forward(x, false)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if l.Data[1] != 1 || math.Abs(l.Data[2]+0.2) > 1e-15 {
 		t.Fatalf("leaky relu values wrong: %v", l.Data)
 	}
@@ -344,20 +354,25 @@ func TestAdamWeightDecayShrinksWeights(t *testing.T) {
 }
 
 func TestLRSchedules(t *testing.T) {
+	//lint:ignore float-eq test asserts exact deterministic output
 	if ConstantLR(0.1).At(0) != 0.1 || ConstantLR(0.1).At(1000) != 0.1 {
 		t.Fatal("constant schedule wrong")
 	}
 	sd := StepDecay{Base: 1, Factor: 0.5, Every: 10}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if sd.At(0) != 1 || sd.At(10) != 0.5 || sd.At(25) != 0.25 {
 		t.Fatalf("step decay wrong: %v %v %v", sd.At(0), sd.At(10), sd.At(25))
 	}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if (StepDecay{Base: 2}).At(100) != 2 {
 		t.Fatal("step decay without Every should be constant")
 	}
 	cd := CosineDecay{Base: 1, Floor: 0.1, Horizon: 100}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if cd.At(0) != 1 {
 		t.Fatalf("cosine at 0 = %v", cd.At(0))
 	}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if got := cd.At(100); got != 0.1 {
 		t.Fatalf("cosine past horizon = %v", got)
 	}

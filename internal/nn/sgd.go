@@ -25,6 +25,8 @@ func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
 // m.ZeroGrads() if the next batch should start fresh (per-batch backward
 // passes overwrite dense/conv gradients, so the common loop does not need
 // to).
+//
+//lint:hotpath
 func (o *SGD) Step(m *Sequential) {
 	params := m.Params()
 	grads := m.Grads()

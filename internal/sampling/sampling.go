@@ -54,6 +54,8 @@ const covFloor = 1e-3
 // (Eq. 34): p_g = w(1/CoV(g)) / Σ w(1/CoV(g)). ESRCoV is evaluated in
 // log-space so extreme reciprocals cannot overflow. The returned vector
 // sums to 1.
+//
+//lint:deterministic
 func Probabilities(groups []*grouping.Group, m Method) []float64 {
 	if len(groups) == 0 {
 		return nil
@@ -108,6 +110,8 @@ func Probabilities(groups []*grouping.Group, m Method) []float64 {
 // proportional to the remaining probability mass. It panics if s exceeds
 // the number of groups with positive probability is insufficient; indices
 // with zero probability are never drawn unless required to fill s.
+//
+//lint:deterministic
 func Sample(rng *stats.RNG, p []float64, s int) []int {
 	if s <= 0 {
 		panic("sampling: sample size must be positive")
@@ -186,6 +190,8 @@ func (w WeightScheme) String() string {
 // For Biased the weights sum to 1 by construction; for Stabilized they are
 // normalized to 1 (Eq. 35); for Unbiased they are returned raw and their sum
 // is only 1 in expectation.
+//
+//lint:deterministic
 func Weights(groups []*grouping.Group, selected []int, p []float64, totalSamples int, scheme WeightScheme) []float64 {
 	if totalSamples <= 0 {
 		panic("sampling: totalSamples must be positive")

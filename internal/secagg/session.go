@@ -52,6 +52,8 @@ type Session struct {
 // NewSession prepares a secure aggregation session. threshold is the Shamir
 // reconstruction threshold T; the aggregation can tolerate up to
 // n−threshold dropped clients.
+//
+//lint:deterministic
 func NewSession(n, dim, threshold int, seed uint64, q Quantizer) *Session {
 	if n < 2 {
 		panic("secagg: need at least 2 clients")
@@ -82,6 +84,8 @@ func NewSession(n, dim, threshold int, seed uint64, q Quantizer) *Session {
 }
 
 // MaskedUpdate produces client i's blinded, quantized update.
+//
+//lint:deterministic
 func (s *Session) MaskedUpdate(i int, update []float64) []uint64 {
 	if i < 0 || i >= s.N {
 		panic(fmt.Sprintf("secagg: client %d out of range", i))
@@ -124,6 +128,8 @@ func (s *Session) MaskedUpdate(i int, update []float64) []uint64 {
 // clients' pairwise masks (via their reconstructed keys). masked[i] must be
 // nil exactly for dropped clients. It returns the dequantized sum of the
 // surviving clients' updates.
+//
+//lint:deterministic
 func (s *Session) Aggregate(masked [][]uint64, dropped []int) ([]float64, error) {
 	if len(masked) != s.N {
 		return nil, fmt.Errorf("secagg: %d masked updates for %d clients", len(masked), s.N)

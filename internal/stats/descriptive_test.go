@@ -22,6 +22,7 @@ func TestMeanVarianceBasics(t *testing.T) {
 }
 
 func TestMeanEmpty(t *testing.T) {
+	//lint:ignore float-eq test asserts exact deterministic output
 	if Mean(nil) != 0 || Variance(nil) != 0 {
 		t.Fatal("empty slice statistics should be 0")
 	}
@@ -49,6 +50,7 @@ func TestCoVScaleInvariance(t *testing.T) {
 }
 
 func TestCoVDegenerate(t *testing.T) {
+	//lint:ignore float-eq test asserts exact deterministic output
 	if got := CoV([]float64{0, 0, 0}); got != 0 {
 		t.Errorf("CoV of all-zero = %v, want 0", got)
 	}
@@ -58,6 +60,7 @@ func TestCoVDegenerate(t *testing.T) {
 }
 
 func TestCoVOfCountsBalanced(t *testing.T) {
+	//lint:ignore float-eq test asserts exact deterministic output
 	if got := CoVOfCounts([]float64{5, 5, 5, 5}); got != 0 {
 		t.Errorf("balanced histogram CoV = %v, want 0", got)
 	}
@@ -128,6 +131,7 @@ func TestWeightedMean(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	//lint:ignore float-eq test asserts exact deterministic output
 	if lo != -1 || hi != 7 {
 		t.Errorf("MinMax = (%v, %v), want (-1, 7)", lo, hi)
 	}
@@ -144,9 +148,11 @@ func TestJainIndex(t *testing.T) {
 	if mid <= 0.25 || mid >= 1 {
 		t.Errorf("skewed allocation index = %v", mid)
 	}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if JainIndex(nil) != 0 {
 		t.Error("empty allocation")
 	}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if JainIndex([]float64{0, 0}) != 1 {
 		t.Error("all-zero allocation should be trivially fair")
 	}

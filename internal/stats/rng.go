@@ -67,6 +67,8 @@ func (r *RNG) Normal(mu, sigma float64) float64 {
 func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
+//
+//lint:hotpath
 func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
 
 // Gamma samples from a Gamma(shape, 1) distribution using the

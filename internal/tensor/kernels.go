@@ -10,6 +10,8 @@ import "fmt"
 // floating-point operation order, so results stay bit-for-bit deterministic.
 
 // Axpy computes dst += k·x (the BLAS axpy). Slices must have equal length.
+//
+//lint:hotpath
 func Axpy(k float64, x, dst []float64) {
 	checkLen("Axpy", len(x), len(dst))
 	i := 0
@@ -25,6 +27,8 @@ func Axpy(k float64, x, dst []float64) {
 }
 
 // ScaleInto computes dst = k·x, overwriting dst.
+//
+//lint:hotpath
 func ScaleInto(k float64, x, dst []float64) {
 	checkLen("ScaleInto", len(x), len(dst))
 	i := 0
@@ -40,6 +44,8 @@ func ScaleInto(k float64, x, dst []float64) {
 }
 
 // SubInto computes dst = a − b, the delta a client ships before compression.
+//
+//lint:hotpath
 func SubInto(a, b, dst []float64) {
 	checkLen("SubInto", len(a), len(dst))
 	checkLen("SubInto", len(b), len(dst))
@@ -56,6 +62,8 @@ func SubInto(a, b, dst []float64) {
 }
 
 // AddInto computes dst = a + b, the edge-side decode of a shipped delta.
+//
+//lint:hotpath
 func AddInto(a, b, dst []float64) {
 	checkLen("AddInto", len(a), len(dst))
 	checkLen("AddInto", len(b), len(dst))
@@ -72,6 +80,8 @@ func AddInto(a, b, dst []float64) {
 }
 
 // ScaleSlice computes x *= k in place.
+//
+//lint:hotpath
 func ScaleSlice(k float64, x []float64) {
 	i := 0
 	for ; i+4 <= len(x); i += 4 {
@@ -85,6 +95,7 @@ func ScaleSlice(k float64, x []float64) {
 	}
 }
 
+//lint:hotpath
 func checkLen(op string, n, want int) {
 	if n != want {
 		panic(fmt.Sprintf("tensor: %s length mismatch %d vs %d", op, n, want))

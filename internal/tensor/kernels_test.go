@@ -104,6 +104,7 @@ func TestKernelsZeroAlloc(t *testing.T) {
 		AddInto(a, a, dst)
 		SubInto(a, a, dst)
 		ScaleSlice(0.999, dst)
+		//lint:ignore float-eq test asserts exact deterministic output
 	}); n != 0 {
 		t.Fatalf("kernels allocated %.1f times per run, want 0", n)
 	}

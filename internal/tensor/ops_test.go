@@ -13,12 +13,14 @@ func TestTranspose(t *testing.T) {
 	if y.Shape[0] != 3 || y.Shape[1] != 2 {
 		t.Fatalf("shape %v", y.Shape)
 	}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if y.At(0, 0) != 1 || y.At(2, 1) != 6 || y.At(1, 0) != 2 {
 		t.Fatalf("values %v", y.Data)
 	}
 	// Double transpose is identity.
 	z := y.Transpose()
 	for i := range x.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if z.Data[i] != x.Data[i] {
 			t.Fatal("double transpose != identity")
 		}
@@ -36,10 +38,12 @@ func TestTransposePanicsOnRank(t *testing.T) {
 
 func TestSumMean(t *testing.T) {
 	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if x.Sum() != 10 || x.Mean() != 2.5 {
 		t.Fatalf("Sum=%v Mean=%v", x.Sum(), x.Mean())
 	}
 	empty := &Tensor{Shape: []int{0}}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if empty.Mean() != 0 {
 		t.Fatal("empty mean")
 	}
@@ -48,10 +52,12 @@ func TestSumMean(t *testing.T) {
 func TestRowsView(t *testing.T) {
 	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
 	v := x.RowsView(1, 3)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if v.Shape[0] != 2 || v.At(0, 0) != 3 {
 		t.Fatalf("view %v %v", v.Shape, v.Data)
 	}
 	v.Set(0, 0, 99)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if x.At(1, 0) != 99 {
 		t.Fatal("view must share data")
 	}
@@ -74,10 +80,12 @@ func TestRowsView(t *testing.T) {
 func TestColRowSums(t *testing.T) {
 	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
 	cs := x.ColSums()
+	//lint:ignore float-eq test asserts exact deterministic output
 	if cs[0] != 5 || cs[1] != 7 || cs[2] != 9 {
 		t.Fatalf("ColSums %v", cs)
 	}
 	rs := x.RowSums()
+	//lint:ignore float-eq test asserts exact deterministic output
 	if rs[0] != 6 || rs[1] != 15 {
 		t.Fatalf("RowSums %v", rs)
 	}
@@ -86,6 +94,7 @@ func TestColRowSums(t *testing.T) {
 func TestApply(t *testing.T) {
 	x := FromSlice([]float64{1, 4, 9}, 3)
 	x.Apply(math.Sqrt)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if x.Data[0] != 1 || x.Data[1] != 2 || x.Data[2] != 3 {
 		t.Fatalf("Apply %v", x.Data)
 	}
@@ -100,6 +109,7 @@ func TestStack(t *testing.T) {
 	}
 	want := []float64{1, 2, 3, 4, 5, 6}
 	for i, w := range want {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if s.Data[i] != w {
 			t.Fatalf("Stack %v", s.Data)
 		}

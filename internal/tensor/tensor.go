@@ -51,6 +51,8 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 }
 
 // Size returns the total number of elements.
+//
+//lint:hotpath
 func (t *Tensor) Size() int { return len(t.Data) }
 
 // Dim returns the i-th dimension.
@@ -82,6 +84,8 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 }
 
 // SameShape reports whether two tensors have identical shapes.
+//
+//lint:hotpath
 func (t *Tensor) SameShape(o *Tensor) bool {
 	if len(t.Shape) != len(o.Shape) {
 		return false
@@ -142,11 +146,15 @@ func (t *Tensor) Sub(o *Tensor) {
 }
 
 // Scale multiplies every element by k.
+//
+//lint:hotpath
 func (t *Tensor) Scale(k float64) {
 	ScaleSlice(k, t.Data)
 }
 
 // AddScaled accumulates k*o into t: t += k*o.
+//
+//lint:hotpath
 func (t *Tensor) AddScaled(k float64, o *Tensor) {
 	t.mustMatch(o, "AddScaled")
 	Axpy(k, o.Data, t.Data)
@@ -190,6 +198,7 @@ func (t *Tensor) MaxAbs() float64 {
 	return m
 }
 
+//lint:hotpath
 func (t *Tensor) mustMatch(o *Tensor, op string) {
 	if len(t.Data) != len(o.Data) {
 		panic(fmt.Sprintf("tensor: %s size mismatch %v vs %v", op, t.Shape, o.Shape))

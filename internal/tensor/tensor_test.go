@@ -14,6 +14,7 @@ func TestNewAndSize(t *testing.T) {
 		t.Fatalf("unexpected metadata: %+v", x)
 	}
 	for _, v := range x.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if v != 0 {
 			t.Fatal("New must zero-initialize")
 		}
@@ -31,15 +32,18 @@ func TestNewPanicsOnBadShape(t *testing.T) {
 
 func TestFromSliceAndReshape(t *testing.T) {
 	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if x.At(1, 2) != 6 {
 		t.Fatalf("At(1,2) = %v", x.At(1, 2))
 	}
 	y := x.Reshape(3, 2)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if y.At(2, 1) != 6 {
 		t.Fatalf("reshaped At(2,1) = %v", y.At(2, 1))
 	}
 	// Views share data.
 	y.Set(0, 0, 99)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if x.Data[0] != 99 {
 		t.Fatal("Reshape must share backing data")
 	}
@@ -58,6 +62,7 @@ func TestCloneIndependence(t *testing.T) {
 	x := FromSlice([]float64{1, 2}, 2)
 	y := x.Clone()
 	y.Data[0] = 42
+	//lint:ignore float-eq test asserts exact deterministic output
 	if x.Data[0] != 1 {
 		t.Fatal("Clone must copy data")
 	}
@@ -69,30 +74,35 @@ func TestElementwiseOps(t *testing.T) {
 	a.Add(b)
 	want := []float64{5, 7, 9}
 	for i := range want {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.Data[i] != want[i] {
 			t.Fatalf("Add got %v", a.Data)
 		}
 	}
 	a.Sub(b)
 	for i, w := range []float64{1, 2, 3} {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.Data[i] != w {
 			t.Fatalf("Sub got %v", a.Data)
 		}
 	}
 	a.Scale(2)
 	for i, w := range []float64{2, 4, 6} {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.Data[i] != w {
 			t.Fatalf("Scale got %v", a.Data)
 		}
 	}
 	a.AddScaled(0.5, b)
 	for i, w := range []float64{4, 6.5, 9} {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.Data[i] != w {
 			t.Fatalf("AddScaled got %v", a.Data)
 		}
 	}
 	a.Hadamard(b)
 	for i, w := range []float64{16, 32.5, 54} {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if a.Data[i] != w {
 			t.Fatalf("Hadamard got %v", a.Data)
 		}
@@ -102,12 +112,14 @@ func TestElementwiseOps(t *testing.T) {
 func TestDotNormMaxAbs(t *testing.T) {
 	a := FromSlice([]float64{3, -4}, 2)
 	b := FromSlice([]float64{1, 1}, 2)
+	//lint:ignore float-eq test asserts exact deterministic output
 	if got := a.Dot(b); got != -1 {
 		t.Errorf("Dot = %v", got)
 	}
 	if got := a.Norm(); math.Abs(got-5) > 1e-12 {
 		t.Errorf("Norm = %v", got)
 	}
+	//lint:ignore float-eq test asserts exact deterministic output
 	if got := a.MaxAbs(); got != 4 {
 		t.Errorf("MaxAbs = %v", got)
 	}
@@ -260,6 +272,7 @@ func TestMatMulDeterministicAcrossRuns(t *testing.T) {
 	MatMul(d1, a1, b1)
 	MatMul(d2, a2, b2)
 	for i := range d1.Data {
+		//lint:ignore float-eq test asserts exact deterministic output
 		if d1.Data[i] != d2.Data[i] {
 			t.Fatal("MatMul is not bit-deterministic")
 		}
