@@ -35,6 +35,13 @@
 #                        live HTTP endpoint until the snapshot exposes
 #                        fel_wire_bytes_total and checks every line parses
 #                        as Prometheus text exposition
+#  10. load smoke      — the felserve serving layer under -race: hundreds of
+#                        loopback subscribers fan in on a multi-job cloud
+#                        (TestServeLoadSmoke), every subscriber must land on
+#                        the correct final aggregate and the goroutine count
+#                        must settle back to its pre-run level, then the
+#                        kill-cloud chaos exercise proves a crash-restarted
+#                        cloud resumes bit-identically
 #
 # Future PRs inherit this gate: run ./ci.sh before pushing.
 set -euo pipefail
@@ -64,8 +71,8 @@ trap - EXIT
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (tensor, core, simnet, wire, fednode, faultnet, metrics)"
-go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode ./internal/faultnet/... ./internal/metrics
+echo "== go test -race (tensor, core, simnet, wire, fednode, faultnet, metrics, felserve)"
+go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode ./internal/faultnet/... ./internal/metrics ./internal/felserve
 
 echo "== go test -fuzz smoke (10s per target)"
 go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s
@@ -124,6 +131,20 @@ if bad="$(grep -Ev '^#|^$|^fel_[a-z0-9_]+(\{[^}]*\})? -?[0-9][0-9eE+.-]*$' <<<"$
 fi
 echo "metrics smoke: $(grep -c '^fel_' <<<"$snapshot") samples parsed, fel_wire_bytes_total present"
 cleanup_smoke
+trap - EXIT
+
+echo "== felserve load smoke (loopback subscriber fan-in + leak check under -race)"
+go test -race -count=1 -run 'TestServeLoadSmoke' ./internal/felserve
+loaddir="$(mktemp -d)"
+trap 'rm -rf "$loaddir"' EXIT
+go build -o "$loaddir/felnode" ./cmd/felnode
+timeout 300 "$loaddir/felnode" -chaos kill-cloud | tee "$loaddir/killcloud.txt"
+if ! grep -q 'bit-identical=true' "$loaddir/killcloud.txt"; then
+  echo "ci.sh: kill-cloud recovery was not bit-identical" >&2
+  exit 1
+fi
+echo "load smoke: serving layer leak-free under -race, kill-cloud recovery bit-identical"
+rm -rf "$loaddir"
 trap - EXIT
 
 echo "ci.sh: all gates passed"

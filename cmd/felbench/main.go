@@ -8,10 +8,17 @@
 //	felbench -exp fig9 -scale small -seed 7
 //	felbench -exp all -scale medium -out results/
 //	felbench -bench -out results/
+//	felbench -load -jobs 4 -subs 250 -out results/
 //
 // -bench times the training engine serial (MaxParallel=1) vs parallel
 // (GOMAXPROCS workers) on the selected scale, checks the two schedules
 // produce bit-identical parameters, and writes BENCH_core.json.
+//
+// -load is the serving-layer load harness: one felserve cloud trains -jobs
+// concurrent federation jobs while -subs loopback subscribers per job follow
+// the model-version stream; it asserts every subscriber lands on the correct
+// final aggregate and that shutdown leaks no goroutines, then writes the
+// measured round throughput as BENCH_serve.json.
 package main
 
 import (
@@ -50,25 +57,51 @@ func runCoreBench(sc experiments.Scale, seed uint64, dir string) {
 		fmt.Fprintln(os.Stderr, "felbench: serial and parallel runs diverged — determinism contract broken")
 		os.Exit(1)
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "felbench:", err)
-			os.Exit(1)
-		}
-	} else {
+	writeJSON(dir, "BENCH_core.json", res)
+}
+
+// writeJSON writes v as indented JSON into dir/name, creating the results
+// directory if it does not exist yet (a clean checkout has none).
+func writeJSON(dir, name string, v any) {
+	if dir == "" {
 		dir = "."
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "felbench:", err)
+		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felbench:", err)
 		os.Exit(1)
 	}
-	path := filepath.Join(dir, "BENCH_core.json")
+	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "felbench:", err)
 		os.Exit(1)
 	}
 	fmt.Println("wrote", path)
+}
+
+// runServeBench runs the felserve load harness and writes BENCH_serve.json
+// into dir (current directory when empty).
+func runServeBench(jobs, subs int, seed uint64, dir string) {
+	const rounds, clients = 8, 12
+	fmt.Printf("=== felserve load harness (%d jobs × %d subscribers, %d rounds each, seed=%d) ===\n",
+		jobs, subs, rounds, seed)
+	res, err := experiments.ServeBench(jobs, subs, rounds, clients, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "felbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rounds:   %d total in %.2fs → %.1f rounds/s\n", res.TotalRounds, res.WallSeconds, res.RoundsPerSec)
+	fmt.Printf("fan-out:  %d subscribers admitted, %d version frames delivered\n", res.Admitted, res.VersionsSent)
+	fmt.Printf("finals:   bit-correct aggregates on every subscriber: %v\n", res.FinalsCorrect)
+	fmt.Printf("teardown: %d leaked goroutines\n", res.LeakedGoroutines)
+	if !res.FinalsCorrect || res.LeakedGoroutines > 0 {
+		fmt.Fprintln(os.Stderr, "felbench: load harness contract violated")
+		os.Exit(1)
+	}
+	writeJSON(dir, "BENCH_serve.json", res)
 }
 
 func main() {
@@ -79,11 +112,18 @@ func main() {
 		out   = flag.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		bench = flag.Bool("bench", false, "benchmark the training engine (serial vs parallel) and write BENCH_core.json")
+		load  = flag.Bool("load", false, "run the felserve load harness and write BENCH_serve.json")
+		jobs  = flag.Int("jobs", 4, "concurrent jobs for -load")
+		subs  = flag.Int("subs", 250, "loopback subscribers per job for -load")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(idList())
+		return
+	}
+	if *load {
+		runServeBench(*jobs, *subs, *seed, *out)
 		return
 	}
 	if *bench {

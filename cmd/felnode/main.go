@@ -25,6 +25,17 @@
 //	felnode -chaos corrupt-frames
 //	felnode -chaos plan.json -seed 7
 //
+// With -serve the process becomes a long-running multi-job federation
+// service (internal/felserve): -jobs concurrent jobs train on one cloud,
+// subscribers follow the model-version stream over the -listen address, and
+// -ckpt makes every job durable — killing the process and rerunning the
+// same command resumes every job from its checkpoint with final weights
+// bit-identical to an uninterrupted run (the `-chaos kill-cloud` scenario
+// asserts exactly this end to end):
+//
+//	felnode -serve -jobs 2 -ckpt /tmp/fel-ckpt -listen 127.0.0.1:9400
+//	felnode -chaos kill-cloud
+//
 // With -metrics addr the process additionally serves live introspection
 // over HTTP while the job runs: the deterministic text snapshot on
 // /metrics, expvar on /debug/vars, and the pprof profiles on /debug/pprof.
@@ -51,6 +62,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/faultnet/scenarios"
 	"repro/internal/fednode"
+	"repro/internal/felserve"
 	"repro/internal/grouping"
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -75,6 +87,9 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "shared seed: every process derives the same federation from it")
 		dropc   = flag.Int("dropclient", -1, "inject a disconnect: this client vanishes mid-round in round 0")
 		chaos   = flag.String("chaos", "", "run a chaos scenario: a name from the built-in suite, a plan.json path, or 'list'")
+		serve   = flag.Bool("serve", false, "run as a long-lived multi-job federation service (see -jobs, -ckpt)")
+		ckpt    = flag.String("ckpt", "", "service mode: checkpoint directory for durable resume (empty: in-memory only)")
+		jobs    = flag.Int("jobs", 2, "service mode: concurrent federation jobs to run")
 		maddr   = flag.String("metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		hold    = flag.Duration("hold", 0, "keep the -metrics endpoint up this long after the job completes")
 		verbose = flag.Bool("v", false, "trace protocol progress")
@@ -89,6 +104,20 @@ func main() {
 			}
 		})
 		if err := runChaos(*chaos, *seed, seedSet, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "felnode:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serve {
+		tmpl := felserve.JobSpec{
+			Clients: *clients, Edges: *edges,
+			SystemSeed: *seed, Seed: *seed,
+			Rounds: *rounds, GroupRounds: *krounds, LocalEpochs: *epochs,
+			BatchSize: *batch, LR: *lr, SampleGroups: *sample,
+		}
+		if err := runServe(*listen, *ckpt, *jobs, tmpl, *maddr, *hold, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "felnode:", err)
 			os.Exit(1)
 		}
@@ -165,7 +194,11 @@ func runChaos(arg string, seed uint64, seedSet, verbose bool) error {
 		for _, sc := range scenarios.All() {
 			fmt.Printf("%-22s %s\n", sc.Name, sc.About)
 		}
+		fmt.Printf("%-22s %s\n", "kill-cloud", "crash a two-job felserve cloud past its last checkpoint, restart, require bit-identical weights")
 		return nil
+	}
+	if arg == "kill-cloud" {
+		return runKillCloud(seed, verbose)
 	}
 	var sc scenarios.Scenario
 	if st, err := os.Stat(arg); err == nil && !st.IsDir() {

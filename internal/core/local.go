@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -280,4 +281,64 @@ func (s *ScaffoldUpdater) FinishGlobalRound() {
 // end of every global round (SCAFFOLD's server variate refresh).
 type globalRoundFinisher interface {
 	FinishGlobalRound()
+}
+
+// ScaffoldCheckpoint is a global-round-boundary snapshot of SCAFFOLD's
+// variates: the server variate c and each client's c_i, keyed by sorted
+// client ID. Pending drift and call counts are deliberately absent — at a
+// round boundary FinishGlobalRound has just zeroed them, which is exactly
+// what makes the state this small.
+type ScaffoldCheckpoint struct {
+	C         []float64
+	ClientIDs []int
+	CI        [][]float64
+}
+
+// ExportState snapshots the variates. It must be called at a global-round
+// boundary: a client with unfolded drift means the caller is mid-round,
+// where the checkpoint would silently lose the pending updates.
+func (s *ScaffoldUpdater) ExportState() *ScaffoldCheckpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := &ScaffoldCheckpoint{C: append([]float64(nil), s.c...)}
+	st.ClientIDs = make([]int, 0, len(s.clients))
+	for id, cs := range s.clients {
+		if cs.calls != 0 {
+			panic("fel: ScaffoldUpdater.ExportState called mid-round (pending drift not yet folded)")
+		}
+		st.ClientIDs = append(st.ClientIDs, id)
+	}
+	sort.Ints(st.ClientIDs)
+	st.CI = make([][]float64, len(st.ClientIDs))
+	for i, id := range st.ClientIDs {
+		st.CI[i] = append([]float64(nil), s.clients[id].ci...)
+	}
+	return st
+}
+
+// RestoreState overwrites the updater's variates with a snapshot taken by
+// ExportState, leaving every client at a clean round boundary.
+func (s *ScaffoldUpdater) RestoreState(st *ScaffoldCheckpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(st.ClientIDs) != len(st.CI) {
+		panic(fmt.Sprintf("fel: scaffold snapshot has %d ids but %d variates", len(st.ClientIDs), len(st.CI)))
+	}
+	if st.C == nil {
+		s.clients, s.c, s.deltaC = nil, nil, nil
+		return
+	}
+	dim := len(st.C)
+	s.c = append([]float64(nil), st.C...)
+	s.deltaC = make([]float64, dim)
+	s.clients = make(map[int]*scaffoldState, len(st.ClientIDs))
+	for i, id := range st.ClientIDs {
+		if len(st.CI[i]) != dim {
+			panic(fmt.Sprintf("fel: scaffold snapshot client %d has dim %d, server variate %d", id, len(st.CI[i]), dim))
+		}
+		s.clients[id] = &scaffoldState{
+			ci:      append([]float64(nil), st.CI[i]...),
+			pending: make([]float64, dim),
+		}
+	}
 }

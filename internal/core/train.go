@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 
@@ -127,171 +126,16 @@ type Result struct {
 // the run is bit-for-bit reproducible at any parallelism; the deterministic
 // annotation makes the lint engine prove no wall-clock read is reachable.
 //
+// Train is a thin wrapper over Trainer — the stateful, stepwise form that
+// felserve checkpoints and resumes — so the two can never drift apart.
+//
 //lint:deterministic
 func Train(sys *System, cfg Config) *Result {
-	validate(sys, cfg)
-	rng := stats.NewRNG(cfg.Seed)
-	local := cfg.Local
-	if local == nil {
-		local = SGDUpdater{}
+	tr := NewTrainer(sys, cfg)
+	for !tr.Done() {
+		tr.Step()
 	}
-
-	// Lines 2–3: group formation at every edge; line 4: sampling vector.
-	groups := grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(1))
-	probs := sampling.Probabilities(groups, cfg.Sampling)
-	reg := cfg.Metrics
-	selCtrs := publishSampling(reg, groups, probs)
-	roundsCtr := reg.Counter("fel_core_rounds_total")
-
-	totalSamples := 0
-	for _, c := range sys.Clients {
-		totalSamples += c.NumSamples()
-	}
-
-	global := sys.NewModel(sys.ModelSeed)
-	globalParams := global.ParamVector()
-	if cfg.InitParams != nil {
-		if len(cfg.InitParams) != len(globalParams) {
-			panic(fmt.Sprintf("fel: InitParams length %d, model has %d", len(cfg.InitParams), len(globalParams)))
-		}
-		copy(globalParams, cfg.InitParams)
-	}
-	acct := cost.NewAccountant(cfg.CostProfile, cfg.CostOps)
-	res := &Result{Participation: make(map[int]int)}
-	modelBytes := cfg.ModelBytes
-	if modelBytes <= 0 {
-		modelBytes = 8 * len(globalParams)
-	}
-	var compressors *compressorPool
-	if cfg.NewCompressor != nil {
-		compressors = &compressorPool{factory: cfg.NewCompressor, byClient: make(map[int]compress.Compressor)}
-	}
-	eng := newEngine(sys, cfg, local, compressors)
-	var spaces []*groupSpace
-	next := make([]float64, len(globalParams))
-
-	sampleRng := rng.Split(2)
-	for t := 0; t < cfg.GlobalRounds; t++ {
-		if cfg.CostBudget > 0 && acct.Total() >= cfg.CostBudget {
-			break
-		}
-		// Optional regrouping (Sec. 6.1): the random first pick in Alg. 2
-		// makes each regroup explore a different formation.
-		if cfg.RegroupEvery > 0 && t > 0 && t%cfg.RegroupEvery == 0 {
-			groups = grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, rng.Split(uint64(100+t)))
-			probs = sampling.Probabilities(groups, cfg.Sampling)
-			selCtrs = publishSampling(reg, groups, probs)
-		}
-
-		// Line 6: sample S_t.
-		s := cfg.SampleGroups
-		if s > len(groups) {
-			s = len(groups)
-		}
-		selected := sampling.Sample(sampleRng, probs, s)
-		roundsCtr.Inc()
-		for _, gi := range selected {
-			selCtrs[gi].Inc()
-		}
-
-		// Lines 7–14: each selected group trains in parallel. The engine
-		// hands back pooled spaces, consumed by the global aggregation below
-		// and then recycled.
-		spaces = spaces[:0]
-		for range selected {
-			spaces = append(spaces, nil)
-		}
-		parallelEach(len(selected), cfg.MaxParallel, func(si int) {
-			spaces[si] = eng.runGroup(groups[selected[si]], globalParams, t)
-		})
-		for _, sp := range spaces {
-			res.Dropouts += sp.drops
-			res.UplinkBytes += sp.bytes
-			eng.dropsCtr.Add(int64(sp.drops))
-		}
-
-		// Line 15: global aggregation into the reused double buffer.
-		aggSpan := reg.Start("fel_core_global_aggregate_seconds")
-		weights := sampling.Weights(groups, selected, probs, totalSamples, cfg.Weights)
-		next = growFloats(next, len(globalParams))
-		aggregateGlobal(weights, spaces, next)
-		// The unbiased estimator targets the full-population average; the
-		// weights may not sum to 1 in-sample, which is the point (Eq. 4).
-		globalParams, next = next, globalParams
-		for _, sp := range spaces {
-			eng.putSpace(sp)
-		}
-		aggSpan.End()
-
-		if gf, ok := local.(globalRoundFinisher); ok {
-			gf.FinishGlobalRound()
-		}
-
-		// Cost, participation, and wall-clock accounting (Eq. 5).
-		sel := make([][]int, len(selected))
-		covSum := 0.0
-		edgeGroupTimes := map[int][]float64{}
-		for si, gi := range selected {
-			g := groups[gi]
-			counts := make([]int, g.Size())
-			computes := make([]float64, g.Size())
-			for i, c := range g.Clients {
-				counts[i] = c.NumSamples()
-				computes[i] = float64(cfg.LocalEpochs)*cfg.CostProfile.Training(c.NumSamples()) +
-					cfg.CostProfile.GroupOverhead(g.Size(), cfg.CostOps)
-				res.Participation[c.ID]++
-			}
-			sel[si] = counts
-			covSum += g.CoV()
-			if cfg.Topology != nil {
-				edgeGroupTimes[g.Edge] = append(edgeGroupTimes[g.Edge],
-					cfg.Topology.GroupRoundTime(modelBytes, computes))
-			}
-		}
-		acct.GlobalRound(sel, cfg.GroupRounds, cfg.LocalEpochs)
-		if cfg.Topology != nil {
-			// Iterate edges in sorted order: GlobalRoundTime folds per-edge
-			// times into a float sum, and map order would leak into WallClock.
-			edges := make([]int, 0, len(edgeGroupTimes))
-			for e := range edgeGroupTimes {
-				edges = append(edges, e)
-			}
-			sort.Ints(edges)
-			times := make([][]float64, 0, len(edges))
-			for _, e := range edges {
-				times = append(times, edgeGroupTimes[e])
-			}
-			res.WallClock += cfg.Topology.GlobalRoundTime(modelBytes, cfg.GroupRounds, times)
-		}
-
-		rec := RoundRecord{
-			Round:          t,
-			Cost:           acct.Total(),
-			AvgSelectedCoV: covSum / float64(len(selected)),
-		}
-		evalNow := cfg.EvalEvery <= 1 || t%cfg.EvalEvery == 0 || t == cfg.GlobalRounds-1
-		if evalNow {
-			evalSpan := reg.Start("fel_core_eval_seconds")
-			global.SetParamVector(globalParams)
-			rec.Accuracy, rec.Loss = Evaluate(global, sys.Test, 0)
-			evalSpan.End()
-		} else {
-			rec.Accuracy, rec.Loss = -1, -1
-		}
-		res.Records = append(res.Records, rec)
-		res.RoundsRun = t + 1
-		if cfg.OnRound != nil {
-			cfg.OnRound(rec)
-		}
-	}
-
-	global.SetParamVector(globalParams)
-	res.FinalAccuracy, res.FinalLoss = Evaluate(global, sys.Test, 0)
-	res.Groups = groups
-	res.Probs = probs
-	res.TotalCost = acct.Total()
-	res.Params = globalParams
-	return res
+	return tr.Finish()
 }
 
 // compressorPool hands out one stateful compressor per client (error

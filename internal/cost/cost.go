@@ -175,3 +175,11 @@ func (a *Accountant) GroupOps() float64 { return a.groupOps }
 
 // Reset clears the accumulated cost.
 func (a *Accountant) Reset() { a.total, a.training, a.groupOps = 0, 0, 0 }
+
+// Restore sets the accumulated components to previously captured values,
+// so a checkpointed training run resumes cost accounting exactly where it
+// stopped. The total is recomputed as their sum, matching GroupRound.
+func (a *Accountant) Restore(training, groupOps float64) {
+	a.training, a.groupOps = training, groupOps
+	a.total = training + groupOps
+}

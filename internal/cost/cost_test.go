@@ -161,3 +161,21 @@ func TestSmallGroupsCheaperPerRound(t *testing.T) {
 		t.Fatal("training spend should not depend on grouping")
 	}
 }
+
+func TestRestoreResumesAccounting(t *testing.T) {
+	p := CIFARProfile()
+	samples := [][]int{{30, 40}, {25, 25, 25}}
+	full := NewAccountant(p, DefaultOps())
+	full.GlobalRound(samples, 2, 3)
+	full.GlobalRound(samples, 2, 3)
+
+	half := NewAccountant(p, DefaultOps())
+	half.GlobalRound(samples, 2, 3)
+	resumed := NewAccountant(p, DefaultOps())
+	resumed.Restore(half.Training(), half.GroupOps())
+	resumed.GlobalRound(samples, 2, 3)
+	//lint:ignore float-eq resume must reproduce the uninterrupted sums exactly
+	if resumed.Total() != full.Total() || resumed.Training() != full.Training() || resumed.GroupOps() != full.GroupOps() {
+		t.Fatalf("resumed accountant diverged: %v vs %v", resumed.Total(), full.Total())
+	}
+}

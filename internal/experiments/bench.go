@@ -19,7 +19,11 @@ type CoreBenchResult struct {
 	Scale      string `json:"scale"`
 	Seed       uint64 `json:"seed"`
 	GoMaxProcs int    `json:"gomaxprocs"`
-	Rounds     int    `json:"rounds"`
+	// MaxParallel is the resolved worker count of the parallel schedule
+	// (MaxParallel=0 resolves to GOMAXPROCS), so BENCH_core.json entries
+	// taken on different machines stay comparable.
+	MaxParallel int `json:"max_parallel"`
+	Rounds      int `json:"rounds"`
 	// SerialNsPerRound is a MaxParallel=1 run (the reference schedule);
 	// ParallelNsPerRound uses MaxParallel=0 (GOMAXPROCS workers).
 	SerialNsPerRound   float64 `json:"serial_ns_per_round"`
@@ -80,6 +84,7 @@ func CoreBench(sc Scale, seed uint64) CoreBenchResult {
 		Scale:                  sc.Name,
 		Seed:                   seed,
 		GoMaxProcs:             runtime.GOMAXPROCS(0),
+		MaxParallel:            runtime.GOMAXPROCS(0),
 		Rounds:                 sc.GlobalRounds,
 		SerialNsPerRound:       serialNs,
 		ParallelNsPerRound:     parallelNs,

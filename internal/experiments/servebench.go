@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fednode"
+	"repro/internal/felserve"
+)
+
+// ServeBenchResult is the serving-layer load benchmark written by
+// `felbench -load` as BENCH_serve.json: one felserve cloud training Jobs
+// concurrent federation jobs while Subscribers loopback clients per job
+// follow the model-version stream to the final aggregate.
+type ServeBenchResult struct {
+	Jobs              int    `json:"jobs"`
+	SubscribersPerJob int    `json:"subscribers_per_job"`
+	RoundsPerJob      int    `json:"rounds_per_job"`
+	Clients           int    `json:"clients_per_job"`
+	Seed              uint64 `json:"seed"`
+	GoMaxProcs        int    `json:"gomaxprocs"`
+	// TotalRounds is the fel_serve_rounds_total the cloud executed;
+	// RoundsPerSec the end-to-end round throughput (all jobs combined).
+	TotalRounds  int64   `json:"total_rounds"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// VersionsSent counts model-version frames delivered to subscribers —
+	// with coalescing this is bounded by subscribers × (rounds + 2), and a
+	// slow fleet legitimately sees fewer.
+	VersionsSent int64 `json:"versions_sent"`
+	Admitted     int64 `json:"subscribers_admitted"`
+	// FinalsCorrect confirms every subscriber's closing aggregate matched
+	// its job's final weights bit for bit.
+	FinalsCorrect bool `json:"finals_correct"`
+	// LeakedGoroutines is how many goroutines remained above the pre-run
+	// count after shutdown and settling; the contract is 0.
+	LeakedGoroutines int `json:"leaked_goroutines"`
+}
+
+// ServeBench drives the felserve load harness: jobs concurrent federation
+// jobs on one in-process cloud, subscribers loopback connections per job
+// following the version stream. It returns the measured throughput and the
+// goroutine balance after a full shutdown.
+func ServeBench(jobs, subscribers, rounds, clients int, seed uint64) (ServeBenchResult, error) {
+	res := ServeBenchResult{
+		Jobs: jobs, SubscribersPerJob: subscribers, RoundsPerJob: rounds,
+		Clients: clients, Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0),
+		FinalsCorrect: true,
+	}
+	before := runtime.NumGoroutine()
+
+	nw := fednode.NewMemNetwork()
+	ln, err := nw.Listen("cloud")
+	if err != nil {
+		return res, err
+	}
+	svc := felserve.New(felserve.Config{StartHeld: true})
+	svc.Serve(ln)
+	specs := make([]felserve.JobSpec, jobs)
+	for i := range specs {
+		specs[i] = felserve.JobSpec{
+			Name:    fmt.Sprintf("load-%d", i),
+			Clients: clients, Edges: 2,
+			SystemSeed: seed + uint64(i), Seed: seed + 100*uint64(i+1),
+			Rounds: rounds, GroupRounds: 2, LocalEpochs: 1,
+			BatchSize: 16, LR: 0.05, SampleGroups: 2,
+			Scaffold: i%2 == 1,
+		}
+		if _, err := svc.Submit(specs[i]); err != nil {
+			return res, err
+		}
+	}
+
+	type finalFrame struct {
+		job    string
+		params []float64
+		err    error
+	}
+	var wg sync.WaitGroup
+	finals := make(chan finalFrame, jobs*subscribers)
+	follow := func(job string) {
+		defer wg.Done()
+		// A thousand subscribers dialing at once is exactly the stampede
+		// the protocol's jittered retry schedule exists for.
+		conn, err := fednode.DialRetry(nw, "subscriber", "cloud", 5, 5*time.Millisecond, nil, nil)
+		if err != nil {
+			finals <- finalFrame{job: job, err: err}
+			return
+		}
+		defer func() {
+			//lint:ignore dropped-error the stream already ended; nothing depends on this close
+			conn.Close()
+		}()
+		sub, err := felserve.Subscribe(conn, job)
+		if err != nil {
+			finals <- finalFrame{job: job, err: err}
+			return
+		}
+		for {
+			_, params, final, err := sub.Next()
+			if err != nil {
+				finals <- finalFrame{job: job, err: err}
+				return
+			}
+			if final {
+				finals <- finalFrame{job: job, params: params}
+				return
+			}
+		}
+	}
+	for _, spec := range specs {
+		for i := 0; i < subscribers; i++ {
+			wg.Add(1)
+			go follow(spec.Name)
+		}
+	}
+
+	start := time.Now()
+	svc.Start()
+	svc.Wait()
+	res.WallSeconds = time.Since(start).Seconds()
+	wg.Wait()
+	close(finals)
+
+	want := map[string][]float64{}
+	for _, spec := range specs {
+		r, err := svc.Job(spec.Name).Wait()
+		if err != nil {
+			return res, err
+		}
+		want[spec.Name] = r.Params
+	}
+	got := 0
+	for f := range finals {
+		if f.err != nil {
+			return res, fmt.Errorf("subscriber of %s: %w", f.job, f.err)
+		}
+		got++
+		w := want[f.job]
+		ok := len(f.params) == len(w)
+		for i := 0; ok && i < len(w); i++ {
+			ok = math.Float64bits(f.params[i]) == math.Float64bits(w[i])
+		}
+		if !ok {
+			res.FinalsCorrect = false
+		}
+	}
+	if got != jobs*subscribers {
+		return res, fmt.Errorf("felbench: %d subscribers finished, want %d", got, jobs*subscribers)
+	}
+
+	reg := svc.Registry()
+	res.TotalRounds = reg.Counter("fel_serve_rounds_total").Value()
+	res.VersionsSent = reg.Counter("fel_serve_versions_sent_total").Value()
+	res.Admitted = reg.Counter("fel_serve_subscribers_admitted_total").Value()
+	res.RoundsPerSec = float64(res.TotalRounds) / res.WallSeconds
+	if err := svc.Close(); err != nil {
+		return res, err
+	}
+
+	// Let handler teardown settle before judging the goroutine balance.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		res.LeakedGoroutines = n - before
+	}
+	return res, nil
+}

@@ -347,6 +347,23 @@ func acceptRetry(ln net.Listener, attempts int, backoff time.Duration, m *Meter)
 	return nil, fmt.Errorf("fednode: accept failed after %d attempts: %w", attempts, err)
 }
 
+// DialRetry dials addr on nw as fromTag with bounded, jittered exponential
+// backoff — the session-establishment hook the serving layer
+// (internal/felserve) and load harnesses reuse so their connection storms
+// get the same stampede-free schedule the federation protocol uses.
+// Retries land in m's fel_net_dial_retries_total; m and rng may be nil.
+func DialRetry(nw Network, fromTag, addr string, attempts int, backoff time.Duration, m *Meter, rng *stats.RNG) (net.Conn, error) {
+	return dialRetry(nw, fromTag, addr, attempts, backoff, m, rng)
+}
+
+// AcceptRetry accepts one connection from ln, retrying transient
+// (timeout-class) failures with bounded backoff; any other error is fatal.
+// The exported counterpart of the protocol's accept loop, for serving-layer
+// listeners. Retries land in m's fel_net_accept_retries_total; m may be nil.
+func AcceptRetry(ln net.Listener, attempts int, backoff time.Duration, m *Meter) (net.Conn, error) {
+	return acceptRetry(ln, attempts, backoff, m)
+}
+
 // closeQuiet closes c on a shutdown path where the close error changes
 // nothing for the caller.
 func closeQuiet(c interface{ Close() error }) {

@@ -1,0 +1,170 @@
+package felserve
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpec is the fixed job whose checkpoint bytes the golden file pins:
+// SCAFFOLD with dropout, so every frame kind — spec, trainer, records,
+// participation, server variate, per-client variates — appears.
+func goldenSpec() JobSpec {
+	return JobSpec{
+		Name: "golden", Clients: 8, Edges: 2,
+		SystemSeed: 11, Seed: 13,
+		Rounds: 6, GroupRounds: 2, LocalEpochs: 1,
+		BatchSize: 16, LR: 0.05, SampleGroups: 2,
+		Scaffold: true, DropoutProb: 0.2,
+	}
+}
+
+// goldenState steps the golden job's trainer to round 3 and exports.
+func goldenState(t *testing.T, spec JobSpec) *core.TrainerState {
+	t.Helper()
+	tr := core.NewTrainer(spec.System(), spec.TrainConfig(nil))
+	for tr.Round() < 3 {
+		tr.Step()
+	}
+	st, err := tr.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCheckpointGolden pins the checkpoint encoding byte for byte. If this
+// fails after an intentional format change, bump ckptFormat and regenerate
+// with `go test ./internal/felserve -run Golden -update`.
+func TestCheckpointGolden(t *testing.T) {
+	spec := goldenSpec()
+	st := goldenState(t, spec)
+	var buf bytes.Buffer
+	n, err := EncodeCheckpoint(&buf, spec, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("EncodeCheckpoint reported %d bytes, wrote %d", n, buf.Len())
+	}
+	golden := filepath.Join("testdata", "checkpoint.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("checkpoint encoding changed: %d bytes, golden %d — a format change must bump ckptFormat and regenerate",
+			buf.Len(), len(want))
+	}
+}
+
+// TestCheckpointRoundTrip: decode(encode(x)) == x, field for field and bit
+// for bit, through the actual file path (atomic save + load).
+func TestCheckpointRoundTrip(t *testing.T) {
+	spec := goldenSpec()
+	st := goldenState(t, spec)
+	dir := t.TempDir()
+	if _, err := SaveCheckpoint(dir, spec, st); err != nil {
+		t.Fatal(err)
+	}
+	gotSpec, gotSt, err := LoadCheckpoint(checkpointPath(dir, spec.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec != spec {
+		t.Fatalf("spec round trip: got %+v, want %+v", gotSpec, spec)
+	}
+	if gotSt.Round != st.Round || gotSt.SampleHi != st.SampleHi || gotSt.SampleLo != st.SampleLo {
+		t.Fatal("round or sampling stream corrupted")
+	}
+	if math.Float64bits(gotSt.CostTraining) != math.Float64bits(st.CostTraining) ||
+		math.Float64bits(gotSt.CostGroupOps) != math.Float64bits(st.CostGroupOps) ||
+		math.Float64bits(gotSt.WallClock) != math.Float64bits(st.WallClock) {
+		t.Fatal("cost components corrupted")
+	}
+	if gotSt.Dropouts != st.Dropouts || gotSt.UplinkBytes != st.UplinkBytes {
+		t.Fatal("dropout/uplink accounting corrupted")
+	}
+	bitEq := func(what string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", what, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s: element %d differs", what, i)
+			}
+		}
+	}
+	bitEq("params", gotSt.Params, st.Params)
+	if len(gotSt.Records) != len(st.Records) {
+		t.Fatalf("%d records, want %d", len(gotSt.Records), len(st.Records))
+	}
+	for i := range st.Records {
+		if gotSt.Records[i] != st.Records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, gotSt.Records[i], st.Records[i])
+		}
+	}
+	if len(gotSt.Participation) != len(st.Participation) {
+		t.Fatal("participation size differs")
+	}
+	for id, n := range st.Participation {
+		if gotSt.Participation[id] != n {
+			t.Fatalf("participation[%d] = %d, want %d", id, gotSt.Participation[id], n)
+		}
+	}
+	if (gotSt.Scaffold == nil) != (st.Scaffold == nil) {
+		t.Fatal("scaffold presence differs")
+	}
+	bitEq("scaffold c", gotSt.Scaffold.C, st.Scaffold.C)
+	if len(gotSt.Scaffold.ClientIDs) != len(st.Scaffold.ClientIDs) {
+		t.Fatal("scaffold client count differs")
+	}
+	for i, id := range st.Scaffold.ClientIDs {
+		if gotSt.Scaffold.ClientIDs[i] != id {
+			t.Fatalf("scaffold client %d: id %d, want %d", i, gotSt.Scaffold.ClientIDs[i], id)
+		}
+		bitEq("scaffold ci", gotSt.Scaffold.CI[i], st.Scaffold.CI[i])
+	}
+}
+
+// TestCheckpointRejectsCorruption: a flipped byte anywhere must fail the
+// decode (the wire codec's CRC does the heavy lifting), and a truncated
+// file must be rejected rather than half-loaded.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	spec := goldenSpec()
+	st := goldenState(t, spec)
+	var buf bytes.Buffer
+	if _, err := EncodeCheckpoint(&buf, spec, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, off := range []int{3, len(raw) / 2, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		if _, _, err := DecodeCheckpoint(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("decode accepted a corrupted byte at offset %d", off)
+		}
+	}
+	if _, _, err := DecodeCheckpoint(bytes.NewReader(raw[:len(raw)-7])); err == nil {
+		t.Fatal("decode accepted a truncated checkpoint")
+	}
+	if _, _, err := DecodeCheckpoint(bytes.NewReader(raw[:40])); err == nil {
+		t.Fatal("decode accepted a checkpoint missing mandatory frames")
+	}
+}

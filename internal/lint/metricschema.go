@@ -25,10 +25,13 @@ var MetricSchema = &Analyzer{
 
 // metricLayers are the architectural layers allowed in metric names,
 // mirroring the package structure: core training, wire codec, simulated
-// network, federation node, secure aggregation, fault injection.
+// network, federation node, secure aggregation, fault injection, and the
+// felserve serving layer (fel_serve_* covers both the service-level schema
+// and the per-job fel_serve_job_* streams).
 var metricLayers = map[string]bool{
 	"core": true, "wire": true, "net": true,
 	"fednode": true, "secagg": true, "faultnet": true,
+	"serve": true,
 }
 
 // registryMethods maps internal/metrics Registry methods to the suffix rule

@@ -8,6 +8,8 @@
 package stats
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
 	"math/rand/v2"
 )
@@ -33,6 +35,31 @@ func NewRNG(seed uint64) *RNG {
 // fresh NewRNG allocation on every client visit.
 func (r *RNG) Reseed(seed uint64) {
 	r.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// State returns the generator's full internal state as two 64-bit words.
+// Together with SetState it makes an RNG checkpointable: math/rand/v2's
+// PCG carries exactly 128 bits of state and its Rand wrapper caches
+// nothing, so (hi, lo) is sufficient to resume the stream mid-sequence.
+func (r *RNG) State() (hi, lo uint64) {
+	b, err := r.pcg.MarshalBinary()
+	if err != nil || len(b) != 20 || string(b[:4]) != "pcg:" {
+		panic(fmt.Sprintf("stats: unexpected PCG marshal format (%d bytes, %v)", len(b), err))
+	}
+	return binary.BigEndian.Uint64(b[4:12]), binary.BigEndian.Uint64(b[12:20])
+}
+
+// SetState restores the generator to a state previously captured with
+// State. The next draw after SetState equals the draw the captured
+// generator would have produced.
+func (r *RNG) SetState(hi, lo uint64) {
+	b := make([]byte, 20)
+	copy(b, "pcg:")
+	binary.BigEndian.PutUint64(b[4:12], hi)
+	binary.BigEndian.PutUint64(b[12:20], lo)
+	if err := r.pcg.UnmarshalBinary(b); err != nil {
+		panic(fmt.Sprintf("stats: PCG unmarshal: %v", err))
+	}
 }
 
 // Split derives a new independent generator from this one, keyed by tag.

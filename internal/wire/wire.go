@@ -1,16 +1,17 @@
 // Package wire is the binary framing codec of the networked federation
 // mode (internal/fednode): a versioned, length-prefixed frame format for
 // the Alg. 1 message vocabulary — GlobalModel, GroupAssign, MaskedUpdate,
-// ShareReveal, GroupAggregate, GlobalAggregate — carrying float parameter
-// vectors, field-element words, and integer id lists between the cloud,
-// edge servers, and clients over any io.Reader/io.Writer (TCP in
-// production, net.Pipe in tests).
+// ShareReveal, GroupAggregate, GlobalAggregate — plus the serving-layer
+// extensions Checkpoint and JobControl (internal/felserve) — carrying float
+// parameter vectors, field-element words, and integer id lists between the
+// cloud, edge servers, and clients over any io.Reader/io.Writer (TCP in
+// production, net.Pipe in tests) or into durable checkpoint files.
 //
 // Frame layout (big endian):
 //
 //	magic   uint16  0xFE1D
 //	version uint8   1
-//	type    uint8   message type (1..6)
+//	type    uint8   message type (1..8)
 //	round   uint32  global round id
 //	paylen  uint32  payload byte count
 //	crc     uint32  IEEE CRC32 of the payload
@@ -58,8 +59,17 @@ const (
 	GroupAggregate
 	// GlobalAggregate is the final global model, broadcast at shutdown.
 	GlobalAggregate
+	// Checkpoint is a durable-state record of the serving layer
+	// (internal/felserve): trainer snapshots — round counters, sampling
+	// RNG words, global parameters, SCAFFOLD variates — framed for the
+	// checkpoint file, never sent over a socket mid-job.
+	Checkpoint
+	// JobControl is the felserve admission-control exchange: a subscriber's
+	// hello naming its job (Seq carries the opcode) and the service's
+	// admit/reject verdict.
+	JobControl
 
-	typeMax = GlobalAggregate
+	typeMax = JobControl
 )
 
 // String returns the wire name of the type.
@@ -77,6 +87,10 @@ func (t Type) String() string {
 		return "GroupAggregate"
 	case GlobalAggregate:
 		return "GlobalAggregate"
+	case Checkpoint:
+		return "Checkpoint"
+	case JobControl:
+		return "JobControl"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }

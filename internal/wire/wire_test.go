@@ -203,3 +203,20 @@ func TestStreamOfFrames(t *testing.T) {
 		t.Fatalf("stream end: %v, want io.EOF", err)
 	}
 }
+
+// TestServingTypesPinned pins the serving-layer extension types to their
+// wire values and names: checkpoint files written today must decode
+// forever, so these constants can never be renumbered.
+func TestServingTypesPinned(t *testing.T) {
+	if Checkpoint != 7 || JobControl != 8 {
+		t.Fatalf("serving types renumbered: Checkpoint=%d JobControl=%d, want 7/8", Checkpoint, JobControl)
+	}
+	if Checkpoint.String() != "Checkpoint" || JobControl.String() != "JobControl" {
+		t.Fatalf("serving type names changed: %q, %q", Checkpoint, JobControl)
+	}
+	m := &Message{Type: Checkpoint, Round: 9, Seq: 1, From: -1,
+		Floats: []float64{1.5, -2.25}, Words: []uint64{3, 4, 5}, Ints: []int32{6}}
+	if !sameMessage(m, roundTrip(t, m)) {
+		t.Fatal("Checkpoint frame corrupted by round trip")
+	}
+}
