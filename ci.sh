@@ -19,23 +19,29 @@
 #                        (TestEngineWorkerPoolRace), simnet event loop,
 #                        wire codec, fednode cloud/edge/client servers,
 #                        metrics registry)
-#   6. fuzz smoke      — every fuzz target runs 10s of randomized inputs
+#   6. scale smoke     — the virtualized-population gate: the O(selected)
+#                        memory test (a 4× larger flyweight population must
+#                        not allocate proportionally more per round) runs
+#                        under -race, then felbench -scalebench drives the
+#                        100k-client grid row end to end through the CLI
+#                        (1M lives in the full grid, see EXPERIMENTS.md)
+#   7. fuzz smoke      — every fuzz target runs 10s of randomized inputs
 #                        (currently FuzzDecodeFrame over the wire codec,
 #                        seeded from faultnet's corruption mutators)
-#   7. chaos smoke     — felnode -chaos runs a named fault-injection
+#   8. chaos smoke     — felnode -chaos runs a named fault-injection
 #                        scenario twice against a full loopback federation
 #                        and diffs the fault event logs and timing-masked
 #                        metrics snapshots byte for byte
-#   8. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
+#   9. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
 #                        (2 edges × 12 clients × 2 rounds), which also
 #                        cross-checks accuracy against the in-process
 #                        trainer and transport bytes against the codec's
 #                        accounting
-#   9. metrics smoke   — the same loopback job with -metrics: polls the
+#  10. metrics smoke   — the same loopback job with -metrics: polls the
 #                        live HTTP endpoint until the snapshot exposes
 #                        fel_wire_bytes_total and checks every line parses
 #                        as Prometheus text exposition
-#  10. load smoke      — the felserve serving layer under -race: hundreds of
+#  11. load smoke      — the felserve serving layer under -race: hundreds of
 #                        loopback subscribers fan in on a multi-job cloud
 #                        (TestServeLoadSmoke), every subscriber must land on
 #                        the correct final aggregate and the goroutine count
@@ -73,6 +79,18 @@ go test ./...
 
 echo "== go test -race (tensor, core, simnet, wire, fednode, faultnet, metrics, felserve)"
 go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode ./internal/faultnet/... ./internal/metrics ./internal/felserve
+
+echo "== scale smoke (O(selected) memory under -race, 100k grid row via felbench)"
+go test -race -count=1 -run 'TestPopScaleOSelectedMemory' ./internal/experiments
+scaledir="$(mktemp -d)"
+trap 'rm -rf "$scaledir"' EXIT
+go run ./cmd/felbench -scalebench 100k -out "$scaledir"
+if ! grep -q '"id": "100k"' "$scaledir/BENCH_scale.json"; then
+  echo "ci.sh: felbench -scalebench wrote no 100k row" >&2
+  exit 1
+fi
+rm -rf "$scaledir"
+trap - EXIT
 
 echo "== go test -fuzz smoke (10s per target)"
 go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s

@@ -8,11 +8,18 @@
 //	felbench -exp fig9 -scale small -seed 7
 //	felbench -exp all -scale medium -out results/
 //	felbench -bench -out results/
+//	felbench -scalebench all -out results/
 //	felbench -load -jobs 4 -subs 250 -out results/
 //
 // -bench times the training engine serial (MaxParallel=1) vs parallel
 // (GOMAXPROCS workers) on the selected scale, checks the two schedules
 // produce bit-identical parameters, and writes BENCH_core.json.
+//
+// -scalebench runs the population-scaling grid over virtual (flyweight)
+// client populations — up to a million clients across hundreds of edges —
+// timing population build, CoV-Grouping formation, and steady-state round
+// cost/allocations, and writes BENCH_scale.json. Takes a comma list of row
+// ids ("10k", "100k", "1m") or "all".
 //
 // -load is the serving-layer load harness: one felserve cloud trains -jobs
 // concurrent federation jobs while -subs loopback subscribers per job follow
@@ -82,6 +89,25 @@ func writeJSON(dir, name string, v any) {
 	fmt.Println("wrote", path)
 }
 
+// runScaleBench runs the population-scaling grid and writes
+// BENCH_scale.json into dir (current directory when empty).
+func runScaleBench(spec string, seed uint64, dir string) {
+	var ids []string
+	for _, id := range strings.Split(spec, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	scales, err := experiments.PopScaleByIDs(ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "felbench:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("=== population scaling bench (rows=%s seed=%d) ===\n", spec, seed)
+	res := experiments.PopScaleGrid(scales, seed, func(line string) { fmt.Println(line) })
+	writeJSON(dir, "BENCH_scale.json", res)
+}
+
 // runServeBench runs the felserve load harness and writes BENCH_serve.json
 // into dir (current directory when empty).
 func runServeBench(jobs, subs int, seed uint64, dir string) {
@@ -112,6 +138,7 @@ func main() {
 		out   = flag.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		bench = flag.Bool("bench", false, "benchmark the training engine (serial vs parallel) and write BENCH_core.json")
+		scb   = flag.String("scalebench", "", "population-scaling bench: comma list of row ids (10k, 100k, 1m) or 'all'; writes BENCH_scale.json")
 		load  = flag.Bool("load", false, "run the felserve load harness and write BENCH_serve.json")
 		jobs  = flag.Int("jobs", 4, "concurrent jobs for -load")
 		subs  = flag.Int("subs", 250, "loopback subscribers per job for -load")
@@ -124,6 +151,10 @@ func main() {
 	}
 	if *load {
 		runServeBench(*jobs, *subs, *seed, *out)
+		return
+	}
+	if *scb != "" {
+		runScaleBench(*scb, *seed, *out)
 		return
 	}
 	if *bench {

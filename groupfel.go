@@ -84,8 +84,28 @@ type (
 	Tensor = tensor.Tensor
 )
 
-// NewSystem builds a federated population from a system config.
+// NewSystem builds a federated population from a system config,
+// materializing every client's samples up front.
 func NewSystem(cfg SystemConfig) *System { return core.NewSystem(cfg) }
+
+// NewVirtualSystem builds a flyweight federated population: clients carry
+// only label histograms and sample counts, and a client's samples are
+// synthesized deterministically from (seed, client id) only while a round
+// trains it. Training results are bit-identical to NewSystem with the same
+// config, but a round's memory is O(selected clients) instead of
+// O(population) — the form that scales to millions of clients (see
+// README "Population scaling").
+func NewVirtualSystem(cfg SystemConfig) *System { return core.NewVirtualSystem(cfg) }
+
+// VirtualPartition is the lazy client-state synthesizer behind
+// NewVirtualSystem, usable directly for histogram-only workloads such as
+// group formation studies at population scale.
+type VirtualPartition = data.VirtualPartition
+
+// NewVirtualPartition builds a VirtualPartition over a generator config.
+func NewVirtualPartition(gen GeneratorConfig, cfg PartitionConfig) *VirtualPartition {
+	return data.NewVirtualPartition(gen, cfg)
+}
 
 // Train runs Algorithm 1 and returns the result.
 func Train(sys *System, cfg Config) *Result { return core.Train(sys, cfg) }

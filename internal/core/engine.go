@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/data"
 	"repro/internal/grouping"
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -56,11 +57,16 @@ type engine struct {
 }
 
 // worker is one pool slot: a private model clone with buffer reuse enabled
-// and the SGD scratch arena, plus a delta buffer for the compression path.
+// and the SGD scratch arena, plus a delta buffer for the compression path
+// and the sample buffer virtual clients materialize into. The batch buffer
+// is what bounds a round's data footprint on a virtual system: at most
+// max workers × one client batch exist at any instant, independent of the
+// population size.
 type worker struct {
 	model *nn.Sequential
 	arena *sgdArena
 	delta []float64
+	batch data.SampleBuffer
 }
 
 // groupSpace holds one group's aggregation state for a global round: the
@@ -239,7 +245,7 @@ func (e *engine) runGroup(g *grouping.Group, globalParams []float64, round int) 
 			w := e.acquire()
 			defer e.release(w)
 			w.model.SetParamVector(sp.group)
-			x, y := e.sys.ClientBatch(c)
+			x, y := e.sys.clientBatchInto(c, &w.batch)
 			w.arena.rng.Reseed(roundBase ^ (uint64(c.ID+1) * 0x165667b19e3779f9))
 			ctx := LocalContext{
 				ClientID:  c.ID,

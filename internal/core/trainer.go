@@ -37,6 +37,9 @@ type Trainer struct {
 	// Split(2) (sampling stream), and Split(100+t) at regroups.
 	rng       *stats.RNG
 	sampleRng *stats.RNG
+	// sampler carries the O(groups) selection scratch across rounds, so a
+	// steady-state Step allocates O(selected), not O(groups).
+	sampler sampling.Sampler
 
 	groups    []*grouping.Group
 	probs     []float64
@@ -55,6 +58,10 @@ type Trainer struct {
 	compressors *compressorPool
 	eng         *engine
 	spaces      []*groupSpace
+
+	// lastSelected counts the clients in the most recent round's selected
+	// groups — the set O(selected)-memory claims are measured against.
+	lastSelected int
 
 	t int
 }
@@ -108,6 +115,12 @@ func NewTrainer(sys *System, cfg Config) *Trainer {
 // number of rounds executed so far.
 func (tr *Trainer) Round() int { return tr.t }
 
+// SelectedClients returns the number of clients in the groups the most
+// recent Step sampled (0 before the first Step). At scale this — not the
+// population — is what a round's working memory tracks; the popscale
+// benchmark records it next to the per-round allocation numbers.
+func (tr *Trainer) SelectedClients() int { return tr.lastSelected }
+
 // Params returns the live global parameter vector. Callers must treat it as
 // read-only; it is the buffer the next Step aggregates into.
 func (tr *Trainer) Params() []float64 { return tr.globalParams }
@@ -146,10 +159,12 @@ func (tr *Trainer) Step() RoundRecord {
 	if s > len(groups) {
 		s = len(groups)
 	}
-	selected := sampling.Sample(tr.sampleRng, probs, s)
+	selected := tr.sampler.Sample(tr.sampleRng, probs, s)
 	tr.roundsCtr.Inc()
+	tr.lastSelected = 0
 	for _, gi := range selected {
 		tr.selCtrs[gi].Inc()
+		tr.lastSelected += groups[gi].Size()
 	}
 
 	// Lines 7–14: each selected group trains in parallel. The engine

@@ -4,6 +4,13 @@
 // partitioner the paper uses to control the non-IID degree, and the
 // client-side label histograms ("label matrix L") that CoV grouping
 // consumes.
+//
+// Client populations come in two equivalent representations: materialized
+// (DirichletPartition slices a pooled Dataset, clients carry sample
+// indices) and virtual (VirtualPartition, clients are flyweights carrying
+// only histogram + count, samples synthesized deterministically from
+// (seed, client ID) on selection). Training over either produces
+// bit-identical results; the virtual form scales to millions of clients.
 package data
 
 import (

@@ -1,0 +1,165 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+// virtualTestPartition returns a small virtual population for the
+// equivalence tests.
+func virtualTestPartition(n int, seed uint64) *VirtualPartition {
+	gen := FlatConfig(5, 6, seed)
+	part := PartitionConfig{
+		NumClients: n, Alpha: 0.4,
+		MinSamples: 8, MaxSamples: 30, MeanSamples: 18, StdSamples: 6,
+		Seed: seed + 1,
+	}
+	return NewVirtualPartition(gen, part)
+}
+
+// TestDirichletHistogramsMatchPartition pins the exact-replay property:
+// given only a dataset's label counts, DirichletHistograms produces the
+// same per-client (N, Counts) as DirichletPartition given the dataset.
+func TestDirichletHistogramsMatchPartition(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		n := 10 + int(seed%7)
+		g := NewGenerator(FlatConfig(6, 4, seed))
+		ds := g.Sample(n*60, 0)
+		cfg := PartitionConfig{
+			NumClients: n, Alpha: 0.2 + 0.1*float64(seed%4),
+			MinSamples: 10, MaxSamples: 50, MeanSamples: 30, StdSamples: 12,
+			Seed: seed + 17,
+		}
+		materialized := DirichletPartition(ds, cfg)
+
+		labelCounts := make([]int, ds.Classes)
+		for _, y := range ds.Y {
+			labelCounts[y]++
+		}
+		flyweights := DirichletHistograms(labelCounts, cfg)
+
+		if len(flyweights) != len(materialized) {
+			t.Fatalf("seed %d: %d flyweights vs %d clients", seed, len(flyweights), len(materialized))
+		}
+		for i, m := range materialized {
+			f := flyweights[i]
+			if f.ID != m.ID || f.N != m.N {
+				t.Fatalf("seed %d client %d: flyweight (ID=%d N=%d) vs materialized (ID=%d N=%d)",
+					seed, i, f.ID, f.N, m.ID, m.N)
+			}
+			if f.Indices != nil {
+				t.Fatalf("seed %d client %d: flyweight has Indices", seed, i)
+			}
+			for y := range m.Counts {
+				//lint:ignore float-eq exact replay must reproduce identical counts
+				if f.Counts[y] != m.Counts[y] {
+					t.Fatalf("seed %d client %d label %d: flyweight count %v vs materialized %v",
+						seed, i, y, f.Counts[y], m.Counts[y])
+				}
+			}
+		}
+	}
+}
+
+// TestVirtualClientSelfConsistent checks that the flyweight histogram a
+// VirtualPartition reports for a client is exactly the histogram of the
+// samples it materializes for that client.
+func TestVirtualClientSelfConsistent(t *testing.T) {
+	vp := virtualTestPartition(20, 3)
+	for id := 0; id < vp.NumClients(); id++ {
+		c := vp.Client(id)
+		x, y := vp.Materialize(id)
+		if c.N != len(y) {
+			t.Fatalf("client %d: N=%d but materialized %d labels", id, c.N, len(y))
+		}
+		if c.N < 8 || c.N > 30 {
+			t.Fatalf("client %d: N=%d outside configured [8,30]", id, c.N)
+		}
+		if x.Shape[0] != c.N || x.Shape[1] != 6 {
+			t.Fatalf("client %d: batch shape %v, want [%d 6]", id, x.Shape, c.N)
+		}
+		hist := make([]float64, vp.Classes())
+		for _, label := range y {
+			hist[label]++
+		}
+		for cls := range hist {
+			//lint:ignore float-eq the histogram is derived from the same label stream
+			if hist[cls] != c.Counts[cls] {
+				t.Fatalf("client %d class %d: histogram %v vs Counts %v", id, cls, hist[cls], c.Counts[cls])
+			}
+		}
+	}
+}
+
+// TestVirtualMaterializeMatchesMaterializeAll pins the bridge the core
+// equivalence tests stand on: per-client synthesis into a SampleBuffer is
+// bit-identical to the rows MaterializeAll lays out in the pooled dataset.
+func TestVirtualMaterializeMatchesMaterializeAll(t *testing.T) {
+	vp := virtualTestPartition(15, 9)
+	ds, clients := vp.MaterializeAll()
+	if len(clients) != 15 {
+		t.Fatalf("MaterializeAll returned %d clients", len(clients))
+	}
+	var buf SampleBuffer
+	for _, c := range clients {
+		if len(c.Indices) != c.N {
+			t.Fatalf("client %d: %d indices, N=%d", c.ID, len(c.Indices), c.N)
+		}
+		xa, ya := ds.Batch(c.Indices)
+		xb, yb := vp.MaterializeInto(c.ID, &buf)
+		if len(ya) != len(yb) {
+			t.Fatalf("client %d: %d vs %d labels", c.ID, len(ya), len(yb))
+		}
+		for i := range ya {
+			if ya[i] != yb[i] {
+				t.Fatalf("client %d sample %d: label %d vs %d", c.ID, i, ya[i], yb[i])
+			}
+		}
+		for i := range xa.Data {
+			if math.Float64bits(xa.Data[i]) != math.Float64bits(xb.Data[i]) {
+				t.Fatalf("client %d: feature %d differs: %v vs %v", c.ID, i, xa.Data[i], xb.Data[i])
+			}
+		}
+	}
+}
+
+// TestVirtualClientsParallelDeterministic: the parallel population build
+// returns exactly what per-ID synthesis returns, in position.
+func TestVirtualClientsParallelDeterministic(t *testing.T) {
+	vp := virtualTestPartition(33, 5)
+	clients := vp.Clients()
+	for id, got := range clients {
+		want := vp.Client(id)
+		if got.ID != id || got.N != want.N {
+			t.Fatalf("client %d: parallel (ID=%d N=%d) vs serial (N=%d)", id, got.ID, got.N, want.N)
+		}
+		for y := range want.Counts {
+			//lint:ignore float-eq both sides replay the same label stream
+			if got.Counts[y] != want.Counts[y] {
+				t.Fatalf("client %d label %d: %v vs %v", id, y, got.Counts[y], want.Counts[y])
+			}
+		}
+	}
+}
+
+// TestSampleBufferReuse: repeated materialization through one buffer reuses
+// its backing storage — the O(selected) memory story depends on per-worker
+// buffers absorbing every synthesized batch.
+func TestSampleBufferReuse(t *testing.T) {
+	vp := virtualTestPartition(10, 7)
+	var buf SampleBuffer
+	// Warm the buffer with the largest client so later calls never grow it.
+	largest := 0
+	for id := 0; id < vp.NumClients(); id++ {
+		if c := vp.Client(id); c.N > vp.Client(largest).N {
+			largest = id
+		}
+	}
+	vp.MaterializeInto(largest, &buf)
+	x1, y1 := vp.MaterializeInto(0, &buf)
+	p1, py1 := &x1.Data[0], &y1[0]
+	x2, y2 := vp.MaterializeInto(1, &buf)
+	if &x2.Data[0] != p1 || &y2[0] != py1 {
+		t.Fatal("warm SampleBuffer grew new backing storage across clients")
+	}
+}

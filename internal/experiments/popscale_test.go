@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPopScaleByIDs covers the CLI-facing grid resolution: "all", subsets,
+// order preservation, and the unknown-id error naming the valid set.
+func TestPopScaleByIDs(t *testing.T) {
+	all, err := PopScaleByIDs([]string{"all"})
+	if err != nil || len(all) != len(PopScales()) {
+		t.Fatalf("all: %d rows, err %v", len(all), err)
+	}
+	sub, err := PopScaleByIDs([]string{"1m", "10k"})
+	if err != nil || len(sub) != 2 || sub[0].ID != "1m" || sub[1].ID != "10k" {
+		t.Fatalf("subset: %+v, err %v", sub, err)
+	}
+	if _, err := PopScaleByIDs([]string{"10k", "9000k"}); err == nil ||
+		!strings.Contains(err.Error(), "9000k") || !strings.Contains(err.Error(), "1m") {
+		t.Fatalf("unknown id error should name the bad id and the valid set, got %v", err)
+	}
+}
+
+// TestPopScaleOSelectedMemory is the scale-smoke gate: a 4× larger
+// population with the same selection size must not allocate 4× more per
+// round. Steady-state round allocations track the selected set (fixed S,
+// similar group sizes), so the big population is allowed modest growth —
+// worker-buffer regrowth, larger group index slices — but nothing
+// resembling proportional scaling. Population heap, by contrast, must
+// grow with the population: that is where the flyweights live.
+func TestPopScaleOSelectedMemory(t *testing.T) {
+	small := PopScale{ID: "t20k", Clients: 20_000, Edges: 16, Rounds: 3}
+	big := PopScale{ID: "t80k", Clients: 80_000, Edges: 64, Rounds: 3}
+	rs := PopScaleBench(small, 1)
+	rb := PopScaleBench(big, 1)
+
+	for _, r := range []PopScaleRow{rs, rb} {
+		if r.Groups < r.Clients/10 || r.GroupingSeconds <= 0 || r.BuildSeconds <= 0 {
+			t.Fatalf("%s: implausible row %+v", r.ID, r)
+		}
+		if r.SelectedClientsAvg <= 0 || r.SelectedClientsAvg > float64(r.SelectedGroups)*50 {
+			t.Fatalf("%s: selected clients avg %.1f out of range", r.ID, r.SelectedClientsAvg)
+		}
+	}
+	// O(selected): per-round allocation may wobble (buffer regrowth, GC
+	// bookkeeping) but must stay far below the 4× population ratio.
+	slack := 8.0 * (1 << 20)
+	if rb.RoundAllocBytes > 2*rs.RoundAllocBytes+slack {
+		t.Fatalf("round alloc bytes scaled with population: %.0f at 80k vs %.0f at 20k",
+			rb.RoundAllocBytes, rs.RoundAllocBytes)
+	}
+	if rb.RoundAllocsAvg > 2*rs.RoundAllocsAvg+4096 {
+		t.Fatalf("round alloc count scaled with population: %.0f at 80k vs %.0f at 20k",
+			rb.RoundAllocsAvg, rs.RoundAllocsAvg)
+	}
+	// The flyweight store itself is O(population): 4× clients should cost
+	// at least ~2× heap (loose: GC timing makes exact ratios unstable).
+	if rb.PopulationHeapBytes < 2*rs.PopulationHeapBytes {
+		t.Fatalf("population heap did not grow with population: %d at 80k vs %d at 20k",
+			rb.PopulationHeapBytes, rs.PopulationHeapBytes)
+	}
+}

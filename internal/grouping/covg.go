@@ -25,64 +25,207 @@ type CoVGrouping struct {
 // Name returns "CoVG".
 func (CoVGrouping) Name() string { return "CoVG" }
 
-// score evaluates the (possibly γ-augmented) criterion for a candidate
-// group histogram and client sample-count list.
-func (a CoVGrouping) score(counts []float64, sampleCounts []float64) float64 {
-	s := stats.CoVOfCounts(counts)
-	if a.GammaWeight > 0 {
-		s += a.GammaWeight * stats.CoV(sampleCounts)
+// poolClient is a pool entry with the candidate-invariant scalars
+// precomputed once per Form call: the histogram total Σ_y c_y, the
+// histogram self-product Σ_y c_y², and the sample count n_i as a float.
+// The histogram itself lives in the pool's contiguous row matrix (see
+// Form), not behind the client pointer, so the greedy scan streams
+// sequential memory instead of chasing a pointer per candidate.
+type poolClient struct {
+	c         *data.Client
+	cSum, cSq float64
+	n         float64
+}
+
+// covAccum carries the running sums that let one candidate addition be
+// scored in O(|Y|) flops with no histogram copies: for the group label
+// histogram it tracks Σ_y g_y and Σ_y g_y², and for the per-client sample
+// counts Σ n_i and Σ n_i². The post-addition sums follow algebraically —
+// Σ (g_y+c_y)² = Σ g_y² + 2·(g·c) + Σ c_y² — so only the dot product g·c
+// touches the histogram; everything else about the candidate is a
+// precomputed poolClient scalar. This is what gets Alg. 2 over a million
+// clients in seconds: scoring a candidate costs one length-|Y| dot product
+// plus a handful of scalar ops, where the naive form copies the histogram
+// and rescans it three times.
+type covAccum struct {
+	sum, sumSq   float64 // over the group's label histogram
+	nSum, nSumSq float64 // over the members' sample counts
+	size         float64
+}
+
+// admit folds pool client pc (histogram row) into the accumulator. Must be
+// called before g.add(pc.c) mutates the histogram the cross term is
+// computed against.
+func (ac *covAccum) admit(g *Group, pc poolClient, row []float64) {
+	cross := 0.0
+	for y, n := range row {
+		cross += g.Counts[y] * n
 	}
-	return s
+	ac.sum += pc.cSum
+	ac.sumSq += 2*cross + pc.cSq
+	ac.nSum += pc.n
+	ac.nSumSq += pc.n * pc.n
+	ac.size++
+}
+
+// covSquared converts running sums into the squared coefficient of
+// variation sigma²/mu² of a y-bin histogram, with the CoVOfCounts edge
+// semantics: an empty or zero-total histogram scores +Inf. The E[x²]−mu²
+// variance form can go fractionally negative from rounding, so it is
+// clamped at zero.
+func covSquared(sum, sumSq float64, y int) float64 {
+	if y == 0 || sum <= 0 {
+		return math.Inf(1)
+	}
+	mu := sum / float64(y)
+	v := sumSq/float64(y) - mu*mu
+	if v < 0 {
+		v = 0
+	}
+	return v / (mu * mu)
+}
+
+// scoreCurrent evaluates the criterion for the group as it stands. With
+// GammaWeight zero (Alg. 2 exactly) the returned value is the *squared*
+// CoV — monotone in the CoV, so argmin candidates and threshold checks
+// against the squared bound are unchanged while every evaluation skips a
+// sqrt. With GammaWeight set the criterion mixes two CoVs additively and
+// squaring would not commute, so both terms take their sqrt.
+func (a CoVGrouping) scoreCurrent(ac covAccum, classes int) float64 {
+	s := covSquared(ac.sum, ac.sumSq, classes)
+	if a.GammaWeight <= 0 {
+		return s
+	}
+	return math.Sqrt(s) + a.GammaWeight*covOfSums(ac.nSum, ac.nSumSq, ac.size)
+}
+
+// scoreWith evaluates the criterion with pool client pc (histogram row)
+// tentatively added.
+func (a CoVGrouping) scoreWith(ac covAccum, gc []float64, pc poolClient, row []float64, classes int) float64 {
+	cross := 0.0
+	for y, n := range row {
+		cross += gc[y] * n
+	}
+	sum := ac.sum + pc.cSum
+	sumSq := ac.sumSq + 2*cross + pc.cSq
+	s := covSquared(sum, sumSq, classes)
+	if a.GammaWeight <= 0 {
+		return s
+	}
+	return math.Sqrt(s) +
+		a.GammaWeight*covOfSums(ac.nSum+pc.n, ac.nSumSq+pc.n*pc.n, ac.size+1)
+}
+
+// covOfSums is the CoV of a count list given its running sums, matching
+// stats.CoV semantics: an all-zero list has CoV 0 (nonnegative counts sum
+// to zero only when every count is zero).
+func covOfSums(sum, sumSq, n float64) float64 {
+	if sum <= 0 {
+		return 0
+	}
+	mu := sum / n
+	v := sumSq/n - mu*mu
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v) / mu
 }
 
 // Form implements Algorithm 2. The candidate evaluation is incremental
-// (running histogram plus candidate), so the whole formation costs
-// O(|K|² · |Y|) instead of the paper's stated O(|K|³ · |Y|) — the greedy
-// decisions are identical.
+// (running sums plus one dot product per candidate, see covAccum), so the
+// whole formation costs O(|K|² · |Y|) instead of the paper's stated
+// O(|K|³ · |Y|) — the greedy decisions are identical up to floating-point
+// rounding of the criterion. Candidate histograms are packed into one
+// contiguous row matrix so the argmin scan is a sequential stream (the
+// pool is consumed by swap-delete, which moves one row per removal); at a
+// million clients this memory layout, not the flop count, is what keeps
+// formation in seconds.
 func (a CoVGrouping) Form(clients []*data.Client, classes, edge, firstID int, rng *stats.RNG) []*Group {
 	if a.MinGS <= 0 {
 		panic("grouping: MinGS must be positive")
 	}
-	pool := append([]*data.Client(nil), clients...)
+	pool := make([]poolClient, len(clients))
+	hists := make([]float64, len(clients)*classes)
+	for i, c := range clients {
+		pc := poolClient{c: c, n: float64(c.NumSamples())}
+		row := hists[i*classes : (i+1)*classes]
+		for y, n := range c.Counts {
+			row[y] = n
+			pc.cSum += n
+			pc.cSq += n * n
+		}
+		pool[i] = pc
+	}
+	// remove swap-deletes pool entry i, keeping the row matrix dense.
+	remove := func(i int) {
+		last := len(pool) - 1
+		pool[i] = pool[last]
+		copy(hists[i*classes:(i+1)*classes], hists[last*classes:(last+1)*classes])
+		pool = pool[:last]
+	}
 	var groups []*Group
+
+	maxCoV := a.MaxCoV
+	if maxCoV <= 0 {
+		maxCoV = math.Inf(1)
+	}
+	// The threshold the (possibly squared) score is compared against.
+	maxScore := maxCoV
+	if a.GammaWeight <= 0 {
+		maxScore = maxCoV * maxCoV
+	}
 
 	for len(pool) > 0 {
 		// Line 3: seed the new group with a random client.
 		pick := rng.IntN(len(pool))
 		g := NewGroup(firstID+len(groups), edge, nil, classes)
-		g.add(pool[pick])
-		pool[pick] = pool[len(pool)-1]
-		pool = pool[:len(pool)-1]
-		sampleCounts := []float64{float64(g.Clients[len(g.Clients)-1].NumSamples())}
+		var ac covAccum
+		ac.admit(g, pool[pick], hists[pick*classes:(pick+1)*classes])
+		g.add(pool[pick].c)
+		remove(pick)
 
-		maxCoV := a.MaxCoV
-		if maxCoV <= 0 {
-			maxCoV = math.Inf(1)
-		}
 		// Line 4: grow while the requirement is unmet and clients remain.
-		for (a.score(g.Counts, sampleCounts) > maxCoV || g.Size() < a.MinGS) && len(pool) > 0 {
-			cur := a.score(g.Counts, sampleCounts)
+		for (a.scoreCurrent(ac, classes) > maxScore || g.Size() < a.MinGS) && len(pool) > 0 {
+			cur := a.scoreCurrent(ac, classes)
 			// Line 5: the candidate minimizing the post-addition criterion.
 			best, bestScore := -1, math.Inf(1)
-			trial := make([]float64, classes)
-			for ci, c := range pool {
-				copy(trial, g.Counts)
-				for y, n := range c.Counts {
-					trial[y] += n
+			gc := g.Counts[:classes]
+			if a.GammaWeight <= 0 {
+				// Alg. 2 hot path. The squared CoV is y·sumSq/sum² − 1, a
+				// monotone function of sumSq/sum², so the argmin is found by
+				// cross-multiplied comparison — no division and no call in
+				// the scan, just the dot product against the packed rows.
+				// (A zero-total candidate scores +Inf either way: it never
+				// beats a positive-total one because its cross product is
+				// zero, and ties keep the earlier candidate.)
+				bestSum, bestSumSq := 0.0, math.Inf(1)
+				for ci := range pool {
+					row := hists[ci*classes : (ci+1)*classes]
+					cross := 0.0
+					for y, n := range row {
+						cross += gc[y] * n
+					}
+					sum := ac.sum + pool[ci].cSum
+					sumSq := ac.sumSq + 2*cross + pool[ci].cSq
+					if best == -1 || sumSq*bestSum*bestSum < bestSumSq*sum*sum {
+						best, bestSum, bestSumSq = ci, sum, sumSq
+					}
 				}
-				s := a.score(trial, append(sampleCounts, float64(c.NumSamples())))
-				if s < bestScore {
-					best, bestScore = ci, s
+				bestScore = covSquared(bestSum, bestSumSq, classes)
+			} else {
+				for ci := range pool {
+					s := a.scoreWith(ac, gc, pool[ci], hists[ci*classes:(ci+1)*classes], classes)
+					if s < bestScore {
+						best, bestScore = ci, s
+					}
 				}
 			}
 			// Line 6: accept if it improves the criterion or the group is
 			// still too small.
 			if bestScore < cur || g.Size() < a.MinGS {
-				c := pool[best]
-				g.add(c)
-				sampleCounts = append(sampleCounts, float64(c.NumSamples()))
-				pool[best] = pool[len(pool)-1]
-				pool = pool[:len(pool)-1]
+				ac.admit(g, pool[best], hists[best*classes:(best+1)*classes])
+				g.add(pool[best].c)
+				remove(best)
 			} else {
 				break // Line 9: finalize.
 			}

@@ -9,6 +9,10 @@
 package grouping
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+
 	"repro/internal/data"
 	"repro/internal/stats"
 )
@@ -20,6 +24,10 @@ type Group struct {
 	Edge    int
 	Clients []*data.Client
 	Counts  []float64
+
+	// samples caches the member sample total so NumSamples is O(1) — the
+	// aggregation weights read it for every selected group every round.
+	samples int
 }
 
 // NewGroup builds a group over the given clients, summing their histograms.
@@ -36,19 +44,14 @@ func (g *Group) add(c *data.Client) {
 	for y, n := range c.Counts {
 		g.Counts[y] += n
 	}
+	g.samples += c.NumSamples()
 }
 
 // Size returns the number of clients |g|.
 func (g *Group) Size() int { return len(g.Clients) }
 
 // NumSamples returns the total data count n_g.
-func (g *Group) NumSamples() int {
-	n := 0
-	for _, c := range g.Clients {
-		n += c.NumSamples()
-	}
-	return n
-}
+func (g *Group) NumSamples() int { return g.samples }
 
 // CoV returns the coefficient of variation of the group's label histogram
 // (Eq. 27), the paper's grouping criterion.
@@ -97,11 +100,68 @@ type Algorithm interface {
 // mirroring Alg. 1 lines 2–3, and returns the union of all groups with
 // globally unique IDs.
 //
+// Edges form in parallel across GOMAXPROCS goroutines. The result is
+// bit-identical to forming them serially: each edge's RNG is split from the
+// parent serially up front (preserving the parent's consumption order), the
+// per-edge formations are independent, and every Algorithm assigns IDs
+// densely from firstID — so forming with firstID 0 and renumbering after
+// concatenation reproduces exactly the serial numbering.
+//
 //lint:deterministic
 func FormAll(alg Algorithm, edges [][]*data.Client, classes int, rng *stats.RNG) []*Group {
+	rngs := make([]*stats.RNG, len(edges))
+	for e := range edges {
+		rngs[e] = rng.Split(uint64(e))
+	}
+	perEdge := make([][]*Group, len(edges))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+	if workers <= 1 {
+		for e, clients := range edges {
+			perEdge[e] = alg.Form(clients, classes, e, 0, rngs[e])
+		}
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstPanic any
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for e := range next {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								mu.Lock()
+								if firstPanic == nil {
+									firstPanic = r
+								}
+								mu.Unlock()
+							}
+						}()
+						perEdge[e] = alg.Form(edges[e], classes, e, 0, rngs[e])
+					}()
+				}
+			}()
+		}
+		for e := range edges {
+			next <- e
+		}
+		close(next)
+		wg.Wait()
+		if firstPanic != nil {
+			panic(fmt.Sprintf("grouping: edge formation panic: %v", firstPanic))
+		}
+	}
 	var all []*Group
-	for e, clients := range edges {
-		groups := alg.Form(clients, classes, e, len(all), rng.Split(uint64(e)))
+	for _, groups := range perEdge {
+		base := len(all)
+		for _, g := range groups {
+			g.ID += base
+		}
 		all = append(all, groups...)
 	}
 	return all
@@ -111,10 +171,14 @@ func FormAll(alg Algorithm, edges [][]*data.Client, classes int, rng *stats.RNG)
 // existing groups, each client going to the group whose criterion the
 // addition degrades least.
 func mergeLeftover(groups []*Group, leftover *Group, criterion func(counts []float64) float64) {
+	var trial []float64
 	for _, c := range leftover.Clients {
 		best, bestScore := -1, 0.0
 		for gi, g := range groups {
-			trial := make([]float64, len(g.Counts))
+			if cap(trial) < len(g.Counts) {
+				trial = make([]float64, len(g.Counts))
+			}
+			trial = trial[:len(g.Counts)]
 			copy(trial, g.Counts)
 			for y, n := range c.Counts {
 				trial[y] += n

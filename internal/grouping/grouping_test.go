@@ -52,8 +52,8 @@ func avgSize(groups []*Group) float64 {
 
 func TestGroupAccessors(t *testing.T) {
 	clients := []*data.Client{
-		{ID: 0, Indices: make([]int, 4), Counts: []float64{2, 2}},
-		{ID: 1, Indices: make([]int, 6), Counts: []float64{1, 5}},
+		{ID: 0, N: 4, Counts: []float64{2, 2}},
+		{ID: 1, N: 6, Counts: []float64{1, 5}},
 	}
 	g := NewGroup(3, 1, clients, 2)
 	if g.Size() != 2 || g.NumSamples() != 10 {

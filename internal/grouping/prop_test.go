@@ -42,7 +42,7 @@ func randomClients(n, classes int, rng *stats.RNG) []*data.Client {
 				total++
 			}
 		}
-		clients[i] = &data.Client{ID: i, Indices: make([]int, total), Counts: counts}
+		clients[i] = &data.Client{ID: i, N: total, Counts: counts}
 	}
 	return clients
 }

@@ -129,8 +129,8 @@ func SamplingByName(name string) (sampling.Method, error) {
 
 // Run forms groups per edge and computes sampling probabilities.
 func Run(in *Input, alg grouping.Algorithm, method sampling.Method, seed uint64) (*Output, error) {
-	// Build data.Client views. Indices are synthesized so NumSamples
-	// reflects the histogram total.
+	// Build flyweight data.Client views: N carries the histogram total, no
+	// indices or samples exist behind them.
 	maxEdge := 0
 	for _, c := range in.Clients {
 		if c.Edge > maxEdge {
@@ -144,9 +144,9 @@ func Run(in *Input, alg grouping.Algorithm, method sampling.Method, seed uint64)
 			total += v
 		}
 		dc := &data.Client{
-			ID:      c.ID,
-			Indices: make([]int, int(total)),
-			Counts:  append([]float64(nil), c.Counts...),
+			ID:     c.ID,
+			N:      int(total),
+			Counts: append([]float64(nil), c.Counts...),
 		}
 		edges[c.Edge] = append(edges[c.Edge], dc)
 	}

@@ -111,16 +111,47 @@ func Probabilities(groups []*grouping.Group, m Method) []float64 {
 // the number of groups with positive probability is insufficient; indices
 // with zero probability are never drawn unless required to fill s.
 //
+// Each call allocates O(len(p)) scratch; round loops that sample every
+// global round should hold a Sampler instead, whose scratch persists across
+// calls.
+//
 //lint:deterministic
 func Sample(rng *stats.RNG, p []float64, s int) []int {
+	var sp Sampler
+	return sp.Sample(rng, p, s)
+}
+
+// Sampler is the reusable-scratch form of Sample. The zero value is ready
+// to use; after the first call, subsequent calls over populations of the
+// same size allocate nothing, which keeps a training round's memory
+// independent of the group count (a million-client population can carry
+// hundreds of thousands of groups). Not safe for concurrent use.
+type Sampler struct {
+	w   []float64
+	out []int
+}
+
+// Sample is identical to the package-level Sample — same draw sequence from
+// rng, same result — but the returned slice aliases the Sampler's scratch
+// and is only valid until the next call.
+//
+//lint:deterministic
+func (sp *Sampler) Sample(rng *stats.RNG, p []float64, s int) []int {
 	if s <= 0 {
 		panic("sampling: sample size must be positive")
 	}
 	if s > len(p) {
 		panic(fmt.Sprintf("sampling: cannot draw %d from %d groups", s, len(p)))
 	}
-	w := append([]float64(nil), p...)
-	out := make([]int, 0, s)
+	if cap(sp.w) < len(p) {
+		sp.w = make([]float64, len(p))
+	}
+	w := sp.w[:len(p)]
+	copy(w, p)
+	if cap(sp.out) < s {
+		sp.out = make([]int, 0, s)
+	}
+	out := sp.out[:0]
 	for len(out) < s {
 		total := 0.0
 		for _, v := range w {
@@ -140,6 +171,7 @@ func Sample(rng *stats.RNG, p []float64, s int) []int {
 		out = append(out, i)
 		w[i] = 0
 	}
+	sp.out = out
 	return out
 }
 

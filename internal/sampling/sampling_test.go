@@ -16,7 +16,7 @@ func groupWithCounts(id int, counts []float64) *grouping.Group {
 	for _, c := range counts {
 		n += int(c)
 	}
-	client := &data.Client{ID: id, Indices: make([]int, n), Counts: counts}
+	client := &data.Client{ID: id, N: n, Counts: counts}
 	return grouping.NewGroup(id, 0, []*data.Client{client}, len(counts))
 }
 
