@@ -25,23 +25,30 @@
 #                        under -race, then felbench -scalebench drives the
 #                        100k-client grid row end to end through the CLI
 #                        (1M lives in the full grid, see EXPERIMENTS.md)
-#   7. fuzz smoke      — every fuzz target runs 10s of randomized inputs
+#   7. perf smoke      — one medium cell of the felbench engine grid
+#                        (GOMAXPROCS=4, MaxParallel=8, blocked kernels)
+#                        runs end to end; felbench exits 1 if the cell's
+#                        final weights diverge bit-for-bit from the naive
+#                        serial baseline, so this gates the blocked-GEMM
+#                        + tree-aggregation determinism contract on every
+#                        push (full grid: felbench -bench all)
+#   8. fuzz smoke      — every fuzz target runs 10s of randomized inputs
 #                        (currently FuzzDecodeFrame over the wire codec,
 #                        seeded from faultnet's corruption mutators)
-#   8. chaos smoke     — felnode -chaos runs a named fault-injection
+#   9. chaos smoke     — felnode -chaos runs a named fault-injection
 #                        scenario twice against a full loopback federation
 #                        and diffs the fault event logs and timing-masked
 #                        metrics snapshots byte for byte
-#   9. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
+#  10. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
 #                        (2 edges × 12 clients × 2 rounds), which also
 #                        cross-checks accuracy against the in-process
 #                        trainer and transport bytes against the codec's
 #                        accounting
-#  10. metrics smoke   — the same loopback job with -metrics: polls the
+#  11. metrics smoke   — the same loopback job with -metrics: polls the
 #                        live HTTP endpoint until the snapshot exposes
 #                        fel_wire_bytes_total and checks every line parses
 #                        as Prometheus text exposition
-#  11. load smoke      — the felserve serving layer under -race: hundreds of
+#  12. load smoke      — the felserve serving layer under -race: hundreds of
 #                        loopback subscribers fan in on a multi-job cloud
 #                        (TestServeLoadSmoke), every subscriber must land on
 #                        the correct final aggregate and the goroutine count
@@ -90,6 +97,17 @@ if ! grep -q '"id": "100k"' "$scaledir/BENCH_scale.json"; then
   exit 1
 fi
 rm -rf "$scaledir"
+trap - EXIT
+
+echo "== perf smoke (one medium bench-grid cell, bit-identity gated)"
+perfdir="$(mktemp -d)"
+trap 'rm -rf "$perfdir"' EXIT
+go run ./cmd/felbench -bench medium -benchprocs 4 -benchpar 8 -benchrepeats 1 -out "$perfdir"
+if ! grep -q '"bit_identical": true' "$perfdir/BENCH_grid.json"; then
+  echo "ci.sh: perf smoke cell is not bit-identical to the serial baseline" >&2
+  exit 1
+fi
+rm -rf "$perfdir"
 trap - EXIT
 
 echo "== go test -fuzz smoke (10s per target)"

@@ -7,13 +7,17 @@
 //	felbench -list
 //	felbench -exp fig9 -scale small -seed 7
 //	felbench -exp all -scale medium -out results/
-//	felbench -bench -out results/
+//	felbench -bench all -out results/
+//	felbench -bench medium -benchprocs 4 -benchpar 8 -out results/
 //	felbench -scalebench all -out results/
 //	felbench -load -jobs 4 -subs 250 -out results/
 //
-// -bench times the training engine serial (MaxParallel=1) vs parallel
-// (GOMAXPROCS workers) on the selected scale, checks the two schedules
-// produce bit-identical parameters, and writes BENCH_core.json.
+// -bench runs the engine benchmark grid: every GOMAXPROCS × MaxParallel
+// combination of the requested workload scales (comma list of small, medium,
+// large, or "all"), each cell measured end to end and compared bit-for-bit
+// against that scale's naive-serial baseline, written as BENCH_grid.json.
+// -benchprocs and -benchpar override the default {1,4,8} × {1,2,8} axes;
+// -benchrepeats sets the per-cell repeat count (minima are reported).
 //
 // -scalebench runs the population-scaling grid over virtual (flyweight)
 // client populations — up to a million clients across hundreds of edges —
@@ -34,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -51,20 +56,61 @@ func idList() string {
 	return b.String()
 }
 
-// runCoreBench runs the serial-vs-parallel engine benchmark and writes
-// BENCH_core.json into dir (current directory when empty).
-func runCoreBench(sc experiments.Scale, seed uint64, dir string) {
-	fmt.Printf("=== core engine bench (scale=%s seed=%d) ===\n", sc.Name, seed)
-	res := experiments.CoreBench(sc, seed)
-	fmt.Printf("serial:   %.0f ns/round, %.0f allocs/round\n", res.SerialNsPerRound, res.SerialAllocsPerRound)
-	fmt.Printf("parallel: %.0f ns/round, %.0f allocs/round (GOMAXPROCS=%d)\n",
-		res.ParallelNsPerRound, res.ParallelAllocsPerRound, res.GoMaxProcs)
-	fmt.Printf("speedup:  %.2fx, bit-identical: %v\n", res.Speedup, res.BitIdentical)
-	if !res.BitIdentical {
-		fmt.Fprintln(os.Stderr, "felbench: serial and parallel runs diverged — determinism contract broken")
+// parseIntList parses a comma list of positive ints ("1,4,8") for the grid
+// axis flags.
+func parseIntList(flagName, spec string) []int {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "felbench: -%s wants a comma list of positive ints, got %q\n", flagName, spec)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "felbench: -%s is empty\n", flagName)
+		os.Exit(2)
+	}
+	return out
+}
+
+// runBenchGrid runs the engine benchmark grid and writes BENCH_grid.json
+// into dir (current directory when empty). Any cell that fails the
+// bit-identical check against its scale's baseline exits 1.
+func runBenchGrid(spec, procsSpec, parSpec string, repeats int, seed uint64, dir string) {
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	scales, err := experiments.BenchScalesByNames(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "felbench:", err)
+		os.Exit(2)
+	}
+	procsAxis := parseIntList("benchprocs", procsSpec)
+	parAxis := parseIntList("benchpar", parSpec)
+	fmt.Printf("=== engine bench grid (scales=%s procs=%v par=%v repeats=%d seed=%d) ===\n",
+		spec, procsAxis, parAxis, repeats, seed)
+	res := experiments.BenchGrid(scales, procsAxis, parAxis, repeats, seed, func(line string) { fmt.Println(line) })
+	broken := false
+	for _, c := range res.Cells {
+		if !c.BitIdentical {
+			broken = true
+			fmt.Fprintf(os.Stderr, "felbench: cell scale=%s procs=%d par=%d diverged from the serial baseline — determinism contract broken\n",
+				c.Scale, c.GoMaxProcs, c.MaxParallel)
+		}
+	}
+	writeJSON(dir, "BENCH_grid.json", res)
+	if broken {
 		os.Exit(1)
 	}
-	writeJSON(dir, "BENCH_core.json", res)
 }
 
 // writeJSON writes v as indented JSON into dir/name, creating the results
@@ -137,8 +183,11 @@ func main() {
 		seed  = flag.Uint64("seed", 2024, "random seed")
 		out   = flag.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
-		bench = flag.Bool("bench", false, "benchmark the training engine (serial vs parallel) and write BENCH_core.json")
-		scb   = flag.String("scalebench", "", "population-scaling bench: comma list of row ids (10k, 100k, 1m) or 'all'; writes BENCH_scale.json")
+		bench   = flag.String("bench", "", "engine bench grid: comma list of workload scales (small, medium, large) or 'all'; writes BENCH_grid.json")
+		bprocs  = flag.String("benchprocs", "1,4,8", "GOMAXPROCS axis for -bench (comma list)")
+		bpar    = flag.String("benchpar", "1,2,8", "MaxParallel axis for -bench (comma list)")
+		brepeat = flag.Int("benchrepeats", 3, "repeats per -bench cell; minima are reported")
+		scb     = flag.String("scalebench", "", "population-scaling bench: comma list of row ids (10k, 100k, 1m) or 'all'; writes BENCH_scale.json")
 		load  = flag.Bool("load", false, "run the felserve load harness and write BENCH_serve.json")
 		jobs  = flag.Int("jobs", 4, "concurrent jobs for -load")
 		subs  = flag.Int("subs", 250, "loopback subscribers per job for -load")
@@ -157,13 +206,8 @@ func main() {
 		runScaleBench(*scb, *seed, *out)
 		return
 	}
-	if *bench {
-		sc, err := experiments.ScaleByName(*scale)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "felbench:", err)
-			os.Exit(2)
-		}
-		runCoreBench(sc, *seed, *out)
+	if *bench != "" {
+		runBenchGrid(*bench, *bprocs, *bpar, *brepeat, *seed, *out)
 		return
 	}
 	if *exp == "" {

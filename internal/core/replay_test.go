@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"repro/internal/compress"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // TestReplayBitIdenticalAcrossParallelism locks in the determinism contract
@@ -76,6 +79,73 @@ func TestReplayBitIdenticalAcrossMaxParallel(t *testing.T) {
 			if math.Float64bits(again[i]) != math.Float64bits(base[i]) {
 				t.Fatalf("MaxParallel=%d: param %d differs: %x vs %x (%.17g vs %.17g)",
 					par, i, math.Float64bits(again[i]), math.Float64bits(base[i]), again[i], base[i])
+			}
+		}
+	}
+}
+
+// TestReplayBitIdenticalBlockedKernels runs a model wide enough that the
+// cache-blocked GEMM path actually engages (batch 24 × 64 features × 128
+// hidden clears blockedMinWork with k, n ≥ 4) and asserts the determinism
+// contract across both axes the tensor rewrite added: worker parallelism at
+// GOMAXPROCS 8, and blocked-versus-naive kernel choice. All three runs must
+// produce bit-identical final weights.
+func TestReplayBitIdenticalBlockedKernels(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	defer tensor.SyncProcs()
+
+	wideSystem := func(seed uint64) *System {
+		gen := data.FlatConfig(4, 64, seed)
+		gen.Noise = 0.8
+		part := data.PartitionConfig{
+			NumClients: 10, Alpha: 0.5,
+			MinSamples: 24, MaxSamples: 48, MeanSamples: 32, StdSamples: 8,
+			Seed: seed + 1,
+		}
+		return NewSystem(SystemConfig{
+			Generator: gen,
+			Partition: part,
+			NumEdges:  2,
+			TestSize:  200,
+			NewModel: func(s uint64) *nn.Sequential {
+				return nn.NewMLP(64, []int{128}, 4, s)
+			},
+			ModelSeed: 7,
+		})
+	}
+	run := func(maxParallel int, blocked bool) []float64 {
+		tensor.SetBlockedGEMM(blocked)
+		defer tensor.SetBlockedGEMM(true)
+		sys := wideSystem(3)
+		cfg := testConfig()
+		cfg.GlobalRounds = 2
+		cfg.BatchSize = 24
+		cfg.MaxParallel = maxParallel
+		return Train(sys, cfg).Params
+	}
+
+	base := run(1, true)
+	if len(base) == 0 {
+		t.Fatal("training produced no parameters")
+	}
+	variants := []struct {
+		name    string
+		par     int
+		blocked bool
+	}{
+		{"MaxParallel=8 blocked", 8, true},
+		{"MaxParallel=1 naive", 1, false},
+	}
+	for _, v := range variants {
+		again := run(v.par, v.blocked)
+		if len(again) != len(base) {
+			t.Fatalf("%s: parameter count %d, want %d", v.name, len(again), len(base))
+		}
+		for i := range base {
+			if math.Float64bits(again[i]) != math.Float64bits(base[i]) {
+				t.Fatalf("%s: param %d differs: %x vs %x (%.17g vs %.17g)",
+					v.name, i, math.Float64bits(again[i]), math.Float64bits(base[i]), again[i], base[i])
 			}
 		}
 	}

@@ -47,7 +47,7 @@ type Config struct {
 	// RegroupEvery reruns group formation every n global rounds (0 =
 	// never), the paper's Sec. 6.1 suggestion for reusing high-CoV data.
 	RegroupEvery int
-	// MaxParallel bounds worker goroutines (0 = GOMAXPROCS).
+	// MaxParallel bounds worker goroutines (0 = one per physical CPU, via tensor.SyncProcs).
 	MaxParallel int
 	// InitParams, when non-nil, seeds the global model with these
 	// parameters instead of a fresh initialization (used by two-phase

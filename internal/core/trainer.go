@@ -58,6 +58,9 @@ type Trainer struct {
 	compressors *compressorPool
 	eng         *engine
 	spaces      []*groupSpace
+	// aggNodes is the global aggregation's tree-node scratch, reused across
+	// rounds so the steady-state Step stays allocation-free.
+	aggNodes [][]float64
 
 	// lastSelected counts the clients in the most recent round's selected
 	// groups — the set O(selected)-memory claims are measured against.
@@ -188,7 +191,10 @@ func (tr *Trainer) Step() RoundRecord {
 	aggSpan := cfg.Metrics.Start("fel_core_global_aggregate_seconds")
 	weights := sampling.Weights(groups, selected, probs, tr.totalSamples, cfg.Weights)
 	tr.next = growFloats(tr.next, len(tr.globalParams))
-	aggregateGlobal(weights, spaces, tr.next)
+	if cap(tr.aggNodes) < len(spaces) {
+		tr.aggNodes = make([][]float64, len(spaces))
+	}
+	aggregateGlobal(weights, spaces, tr.next, tr.aggNodes[:len(spaces)], tr.eng.max)
 	// The unbiased estimator targets the full-population average; the
 	// weights may not sum to 1 in-sample, which is the point (Eq. 4).
 	tr.globalParams, tr.next = tr.next, tr.globalParams

@@ -1,56 +1,221 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
 	"repro/internal/grouping"
+	"repro/internal/nn"
 	"repro/internal/sampling"
+	"repro/internal/tensor"
 )
 
-// CoreBenchResult is the training-engine benchmark written by
-// `felbench -bench` as BENCH_core.json: one serial and one parallel run of
-// the same Small-scale Group-FEL job, measured end to end.
-type CoreBenchResult struct {
-	// Scale and Seed identify the workload; GoMaxProcs records the
-	// parallelism available when the numbers were taken.
-	Scale      string `json:"scale"`
-	Seed       uint64 `json:"seed"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	// MaxParallel is the resolved worker count of the parallel schedule
-	// (MaxParallel=0 resolves to GOMAXPROCS), so BENCH_core.json entries
-	// taken on different machines stay comparable.
-	MaxParallel int `json:"max_parallel"`
-	Rounds      int `json:"rounds"`
-	// SerialNsPerRound is a MaxParallel=1 run (the reference schedule);
-	// ParallelNsPerRound uses MaxParallel=0 (GOMAXPROCS workers).
-	SerialNsPerRound   float64 `json:"serial_ns_per_round"`
-	ParallelNsPerRound float64 `json:"parallel_ns_per_round"`
-	// Speedup is serial/parallel wall clock; ~1.0 on a single-CPU host.
-	Speedup float64 `json:"speedup"`
-	// SerialAllocsPerRound / ParallelAllocsPerRound count heap allocations
-	// per global round (runtime mallocs delta / rounds) — the zero-alloc
-	// hot-path work shows up here.
-	SerialAllocsPerRound   float64 `json:"serial_allocs_per_round"`
-	ParallelAllocsPerRound float64 `json:"parallel_allocs_per_round"`
-	// BitIdentical confirms the determinism contract held: both runs
-	// produced bit-for-bit equal final parameters.
+// This file is the engine benchmark grid behind `felbench -bench`: every
+// combination of GOMAXPROCS × workload scale × MaxParallel, each cell
+// measured end to end through core.Train and checked bit-for-bit against the
+// per-scale serial baseline. The baseline is the *naive* serial engine —
+// MaxParallel=1, GOMAXPROCS=1, blocked GEMM disabled — so a cell's
+// speedup_vs_serial captures everything the performance work buys: the
+// cache-blocked kernels, the fused tree aggregation, and (on multi-core
+// hosts) the worker fan-out. bit_identical=true in every cell is the
+// determinism contract holding across all of it.
+
+// BenchScale sizes one workload row of the grid. Unlike the experiment
+// Scales (Small/Medium/Paper), these are sized for kernel behaviour: small
+// stays under every parallel/blocked dispatch threshold (the zero-alloc
+// serial fast path), medium and large push the per-layer GEMMs well past
+// blockedMinWork so the blocked kernels dominate the round time.
+type BenchScale struct {
+	Name     string
+	Features int
+	Hidden   []int
+	Classes  int
+	Clients  int
+	Edges    int
+	// Rounds is GlobalRounds per measured run; the grid reports ns/round.
+	Rounds       int
+	GroupRounds  int
+	LocalEpochs  int
+	SampleGroups int
+	BatchSize    int
+	MinGS        int
+	// Per-client sample-count distribution. Minimums sit above BatchSize so
+	// every client runs at least one full-sized batch through the kernels.
+	MinSamples, MaxSamples  int
+	MeanSamples, StdSamples float64
+	TestSize                int
+}
+
+// BenchScales returns the grid's workload axis.
+func BenchScales() []BenchScale {
+	return []BenchScale{
+		{
+			// Below every dispatch threshold: 16×24×32 GEMMs run on the
+			// serial row kernels whatever the knobs say. This row documents
+			// that small problems neither gain nor regress.
+			Name: "small", Features: 24, Hidden: []int{32}, Classes: 10,
+			Clients: 24, Edges: 2,
+			Rounds: 6, GroupRounds: 2, LocalEpochs: 1, SampleGroups: 3,
+			BatchSize: 16, MinGS: 3,
+			MinSamples: 16, MaxSamples: 40, MeanSamples: 25, StdSamples: 8,
+			TestSize: 64,
+		},
+		{
+			// 64×256×256 forward GEMMs: past blockedMinWork, B's working set
+			// (512 KB) spills L1/L2 on the naive path.
+			Name: "medium", Features: 256, Hidden: []int{256}, Classes: 10,
+			Clients: 16, Edges: 2,
+			Rounds: 3, GroupRounds: 2, LocalEpochs: 1, SampleGroups: 2,
+			BatchSize: 64, MinGS: 3,
+			MinSamples: 64, MaxSamples: 160, MeanSamples: 110, StdSamples: 30,
+			TestSize: 64,
+		},
+		{
+			// 96×512×512 GEMMs through two hidden layers: B is 2 MB per
+			// layer, far past cache on the naive streaming path — the regime
+			// the packed panels were built for.
+			Name: "large", Features: 512, Hidden: []int{512, 512}, Classes: 10,
+			Clients: 10, Edges: 2,
+			Rounds: 2, GroupRounds: 1, LocalEpochs: 1, SampleGroups: 1,
+			BatchSize: 96, MinGS: 3,
+			MinSamples: 96, MaxSamples: 200, MeanSamples: 130, StdSamples: 30,
+			TestSize: 64,
+		},
+	}
+}
+
+// BenchScalesByNames resolves comma-style name lists ("all" or subsets like
+// {"medium","large"}) against the grid axis. Unknown names return an error
+// listing the valid set.
+func BenchScalesByNames(names []string) ([]BenchScale, error) {
+	axis := BenchScales()
+	if len(names) == 1 && names[0] == "all" {
+		return axis, nil
+	}
+	var out []BenchScale
+	for _, name := range names {
+		found := false
+		for _, s := range axis {
+			if s.Name == name {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			valid := make([]string, len(axis))
+			for i, s := range axis {
+				valid[i] = s.Name
+			}
+			return nil, fmt.Errorf("unknown bench scale %q (valid: %v, or \"all\")", name, valid)
+		}
+	}
+	return out, nil
+}
+
+// GridBaseline is one scale's reference measurement: the naive serial
+// engine (MaxParallel=1, GOMAXPROCS=1, blocked GEMM off).
+type GridBaseline struct {
+	Scale          string  `json:"scale"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+}
+
+// GridCell is one measured grid cell.
+type GridCell struct {
+	Scale          string  `json:"scale"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	MaxParallel    int     `json:"max_parallel"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	// SpeedupVsSerial is the scale's naive-serial baseline ns/round divided
+	// by this cell's ns/round.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// BitIdentical reports whether this cell's final parameters matched the
+	// baseline's bit for bit — the grid's determinism check.
 	BitIdentical bool `json:"bit_identical"`
 }
 
-// CoreBench times the training engine serial vs parallel on the given scale
-// and verifies both schedules produce bit-identical parameters.
-func CoreBench(sc Scale, seed uint64) CoreBenchResult {
-	run := func(maxParallel int) ([]float64, float64, float64) {
-		scRun := sc
-		scRun.MaxParallel = maxParallel
-		sys := scRun.NewSystem(CIFAR, 0.2, seed)
-		cfg := scRun.BaseConfig(CIFAR, seed)
-		cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{MinGS: sc.MinGS, MaxCoV: sc.MaxCoV, MergeLeftover: true}}
-		cfg.Sampling = sampling.ESRCoV
-		cfg.Weights = sampling.Biased
+// GridResult is the full grid written as BENCH_grid.json.
+type GridResult struct {
+	Seed uint64 `json:"seed"`
+	// HostProcs is runtime.NumCPU at measurement time. GOMAXPROCS values
+	// above it add scheduler pressure, not compute — read speedups on such
+	// hosts as kernel gains, not parallel gains.
+	HostProcs int `json:"host_procs"`
+	// Repeats is how many times each cell ran; ns/round and allocs/round
+	// are the minima, which is the stable statistic on noisy shared hosts.
+	Repeats      int            `json:"repeats"`
+	ProcsAxis    []int          `json:"procs_axis"`
+	ParallelAxis []int          `json:"parallel_axis"`
+	Baselines    []GridBaseline `json:"baselines"`
+	Cells        []GridCell     `json:"cells"`
+}
+
+// benchSystem builds the MLP population for one grid scale.
+func (bs BenchScale) benchSystem(seed uint64) *core.System {
+	gen := data.FlatConfig(bs.Classes, bs.Features, seed)
+	gen.Noise = 1.2
+	return core.NewSystem(core.SystemConfig{
+		Generator: gen,
+		Partition: data.PartitionConfig{
+			NumClients: bs.Clients, Alpha: 0.3,
+			MinSamples: bs.MinSamples, MaxSamples: bs.MaxSamples,
+			MeanSamples: bs.MeanSamples, StdSamples: bs.StdSamples,
+			Seed: seed + 101,
+		},
+		NumEdges: bs.Edges,
+		TestSize: bs.TestSize,
+		NewModel: func(ms uint64) *nn.Sequential {
+			return nn.NewMLP(bs.Features, bs.Hidden, bs.Classes, ms)
+		},
+		ModelSeed: 7,
+	})
+}
+
+// benchConfig builds the core.Config for one grid scale.
+func (bs BenchScale) benchConfig(seed uint64, maxParallel int) core.Config {
+	return core.Config{
+		GlobalRounds: bs.Rounds,
+		GroupRounds:  bs.GroupRounds,
+		LocalEpochs:  bs.LocalEpochs,
+		BatchSize:    bs.BatchSize,
+		LR:           0.05,
+		SampleGroups: bs.SampleGroups,
+		Grouping:     grouping.CoVGrouping{Config: grouping.Config{MinGS: bs.MinGS, MaxCoV: 0.5, MergeLeftover: true}},
+		Sampling:     sampling.ESRCoV,
+		Weights:      sampling.Biased,
+		Seed:         seed,
+		CostProfile:  CIFAR.Profile(),
+		CostOps:      cost.DefaultOps(),
+		EvalEvery:    bs.Rounds, // time training, not evaluation
+		MaxParallel:  maxParallel,
+	}
+}
+
+// runCell executes one (scale, GOMAXPROCS, MaxParallel, kernel) point
+// `repeats` times and returns the final parameters plus min ns/round and
+// min allocs/round. Every run rebuilds the system from the seed, so cells
+// are independent; bit-equality across cells is checked by the caller.
+func runCell(bs BenchScale, procs, maxParallel int, blocked bool, repeats int, seed uint64) (params []float64, nsPerRound, allocsPerRound float64) {
+	oldProcs := runtime.GOMAXPROCS(procs)
+	defer func() {
+		runtime.GOMAXPROCS(oldProcs)
+		tensor.SyncProcs()
+	}()
+	tensor.SetBlockedGEMM(blocked)
+	defer tensor.SetBlockedGEMM(true)
+
+	nsPerRound = math.Inf(1)
+	allocsPerRound = math.Inf(1)
+	for r := 0; r < repeats; r++ {
+		sys := bs.benchSystem(seed)
+		cfg := bs.benchConfig(seed, maxParallel)
 		// Warm the per-client batch cache so timing covers training, not
 		// dataset slicing.
 		for _, c := range sys.Clients {
@@ -64,33 +229,69 @@ func CoreBench(sc Scale, seed uint64) CoreBenchResult {
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		rounds := float64(res.RoundsRun)
-		return res.Params,
-			float64(elapsed.Nanoseconds()) / rounds,
-			float64(after.Mallocs-before.Mallocs) / rounds
+		nsPerRound = min(nsPerRound, float64(elapsed.Nanoseconds())/rounds)
+		allocsPerRound = min(allocsPerRound, float64(after.Mallocs-before.Mallocs)/rounds)
+		params = res.Params
 	}
+	return params, nsPerRound, allocsPerRound
+}
 
-	serialParams, serialNs, serialAllocs := run(1)
-	parallelParams, parallelNs, parallelAllocs := run(0)
-	identical := len(serialParams) == len(parallelParams)
-	if identical {
-		for i := range serialParams {
-			if math.Float64bits(serialParams[i]) != math.Float64bits(parallelParams[i]) {
-				identical = false
-				break
+// sameBits reports bit-for-bit equality of two parameter vectors.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchGrid measures every (scale × GOMAXPROCS × MaxParallel) cell against
+// each scale's naive-serial baseline. progress, when non-nil, receives one
+// line per measurement as it lands.
+func BenchGrid(scales []BenchScale, procsAxis, parAxis []int, repeats int, seed uint64, progress func(string)) GridResult {
+	if repeats < 1 {
+		repeats = 1
+	}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	res := GridResult{
+		Seed:         seed,
+		HostProcs:    runtime.NumCPU(),
+		Repeats:      repeats,
+		ProcsAxis:    procsAxis,
+		ParallelAxis: parAxis,
+	}
+	for _, bs := range scales {
+		baseParams, baseNs, baseAllocs := runCell(bs, 1, 1, false, repeats, seed)
+		res.Baselines = append(res.Baselines, GridBaseline{
+			Scale: bs.Name, NsPerRound: baseNs, AllocsPerRound: baseAllocs,
+		})
+		say("%-7s baseline (naive serial): %.2f ms/round, %.0f allocs/round",
+			bs.Name, baseNs/1e6, baseAllocs)
+		for _, procs := range procsAxis {
+			for _, par := range parAxis {
+				params, ns, allocs := runCell(bs, procs, par, true, repeats, seed)
+				cell := GridCell{
+					Scale:           bs.Name,
+					GoMaxProcs:      procs,
+					MaxParallel:     par,
+					NsPerRound:      ns,
+					AllocsPerRound:  allocs,
+					SpeedupVsSerial: baseNs / ns,
+					BitIdentical:    sameBits(params, baseParams),
+				}
+				res.Cells = append(res.Cells, cell)
+				say("%-7s procs=%d par=%d: %.2f ms/round, %.0f allocs/round, speedup %.2fx, bit_identical=%v",
+					bs.Name, procs, par, ns/1e6, allocs, cell.SpeedupVsSerial, cell.BitIdentical)
 			}
 		}
 	}
-	return CoreBenchResult{
-		Scale:                  sc.Name,
-		Seed:                   seed,
-		GoMaxProcs:             runtime.GOMAXPROCS(0),
-		MaxParallel:            runtime.GOMAXPROCS(0),
-		Rounds:                 sc.GlobalRounds,
-		SerialNsPerRound:       serialNs,
-		ParallelNsPerRound:     parallelNs,
-		Speedup:                serialNs / parallelNs,
-		SerialAllocsPerRound:   serialAllocs,
-		ParallelAllocsPerRound: parallelAllocs,
-		BitIdentical:           identical,
-	}
+	return res
 }

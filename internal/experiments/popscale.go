@@ -160,12 +160,19 @@ func popScaleConfig(s PopScale, seed uint64) core.Config {
 func PopScaleBench(s PopScale, seed uint64) PopScaleRow {
 	row := PopScaleRow{ID: s.ID, Clients: s.Clients, Edges: s.Edges, Rounds: s.Rounds}
 
+	// Two GC cycles around each read: sync.Pool contents (the GEMM packing
+	// buffers, worker sample arenas) drain through a victim cache over two
+	// collections, so a single GC can leave megabytes of pool memory in the
+	// before reading that the after reading has freed — underflowing the
+	// delta when earlier tests in the process warmed the pools.
 	var before, after runtime.MemStats
+	runtime.GC()
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
 	sys := popScaleSystem(s, seed)
 	row.BuildSeconds = time.Since(t0).Seconds()
+	runtime.GC()
 	runtime.GC()
 	runtime.ReadMemStats(&after)
 	row.PopulationHeapBytes = after.HeapAlloc - before.HeapAlloc

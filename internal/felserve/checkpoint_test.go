@@ -40,9 +40,12 @@ func goldenState(t *testing.T, spec JobSpec) *core.TrainerState {
 	return st
 }
 
-// TestCheckpointGolden pins the checkpoint encoding byte for byte. If this
-// fails after an intentional format change, bump ckptFormat and regenerate
-// with `go test ./internal/felserve -run Golden -update`.
+// TestCheckpointGolden pins the checkpoint encoding byte for byte.
+// Regenerate with `go test ./internal/felserve -run Golden -update` — after
+// a format change (which must also bump ckptFormat) or after an intentional
+// change to the trainer's canonical numerics (the golden embeds round-3
+// weights, so e.g. reshaping the aggregation order moves its bytes without
+// any format change).
 func TestCheckpointGolden(t *testing.T) {
 	spec := goldenSpec()
 	st := goldenState(t, spec)

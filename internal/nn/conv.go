@@ -21,6 +21,30 @@ type Conv2D struct {
 	cols        *tensor.Tensor // cached im2col of the last input
 	inShape     []int
 	outH, outW  int
+
+	// Buffer-reuse mode (Sequential.EnableBufferReuse): the im2col matrix,
+	// both matmul operand/output buffers, and the input gradient are
+	// recycled across calls whenever their backing arrays are big enough —
+	// the conv analogue of Dense's out/dx recycling. The padding zeros and
+	// the col2im accumulator are re-zeroed explicitly, so a recycled buffer
+	// can never leak a previous batch's values into the result.
+	reuse        bool
+	outCols, out *tensor.Tensor
+	dy, dcols    *tensor.Tensor
+	dx           *tensor.Tensor
+}
+
+func (c *Conv2D) setBufferReuse(on bool) { c.reuse = on }
+
+// scratch4 is scratch2 for rank-4 buffers (conv activations and gradients).
+func scratch4(reuse bool, buf *tensor.Tensor, s0, s1, s2, s3 int) *tensor.Tensor {
+	n := s0 * s1 * s2 * s3
+	if reuse && buf != nil && len(buf.Shape) == 4 && cap(buf.Data) >= n {
+		buf.Shape[0], buf.Shape[1], buf.Shape[2], buf.Shape[3] = s0, s1, s2, s3
+		buf.Data = buf.Data[:n]
+		return buf
+	}
+	return tensor.New(s0, s1, s2, s3)
 }
 
 // NewConv2D creates a conv layer with He initialization.
@@ -52,7 +76,7 @@ func (c *Conv2D) im2col(x *tensor.Tensor) *tensor.Tensor {
 	b, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := c.outDims(h, w)
 	k := ch * c.KH * c.KW
-	cols := tensor.New(b*oh*ow, k)
+	cols := scratch2(c.reuse, c.cols, b*oh*ow, k)
 	for bi := 0; bi < b; bi++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -66,6 +90,10 @@ func (c *Conv2D) im2col(x *tensor.Tensor) *tensor.Tensor {
 							ix := ox*c.Stride + kx - c.Pad
 							if iy >= 0 && iy < h && ix >= 0 && ix < w {
 								row[idx] = x.Data[base+iy*w+ix]
+							} else {
+								// Explicit, not relying on fresh-buffer zeroing:
+								// a recycled row may hold stale values here.
+								row[idx] = 0
 							}
 							idx++
 						}
@@ -82,7 +110,9 @@ func (c *Conv2D) im2col(x *tensor.Tensor) *tensor.Tensor {
 func (c *Conv2D) col2im(cols *tensor.Tensor, b, ch, h, w int) *tensor.Tensor {
 	oh, ow := c.outDims(h, w)
 	k := ch * c.KH * c.KW
-	dx := tensor.New(b, ch, h, w)
+	dx := scratch4(c.reuse, c.dx, b, ch, h, w)
+	c.dx = dx
+	dx.Zero() // scatter-add accumulator: a recycled buffer must start clean
 	for bi := 0; bi < b; bi++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -119,10 +149,12 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	cols := c.im2col(x)
 	c.cols = cols
 	// outCols[n, oc] = cols[n, :]·W[oc, :]
-	outCols := tensor.New(b*oh*ow, c.OutC)
+	outCols := scratch2(c.reuse, c.outCols, b*oh*ow, c.OutC)
+	c.outCols = outCols
 	tensor.MatMulBT(outCols, cols, c.W)
 	// Reorder [B, OH*OW, OutC] -> [B, OutC, OH, OW] and add bias.
-	out := tensor.New(b, c.OutC, oh, ow)
+	out := scratch4(c.reuse, c.out, b, c.OutC, oh, ow)
+	c.out = out
 	hw := oh * ow
 	for bi := 0; bi < b; bi++ {
 		for n := 0; n < hw; n++ {
@@ -140,7 +172,8 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b := c.inShape[0]
 	hw := c.outH * c.outW
 	// Reorder grad [B, OutC, OH, OW] -> dYcols [B*OH*OW, OutC].
-	dy := tensor.New(b*hw, c.OutC)
+	dy := scratch2(c.reuse, c.dy, b*hw, c.OutC)
+	c.dy = dy
 	for bi := 0; bi < b; bi++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			src := grad.Data[(bi*c.OutC+oc)*hw : (bi*c.OutC+oc+1)*hw]
@@ -159,7 +192,8 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dcols = dy × W, then scatter back.
-	dcols := tensor.New(b*hw, c.W.Shape[1])
+	dcols := scratch2(c.reuse, c.dcols, b*hw, c.W.Shape[1])
+	c.dcols = dcols
 	tensor.MatMul(dcols, dy, c.W)
 	return c.col2im(dcols, b, c.inShape[1], c.inShape[2], c.inShape[3])
 }

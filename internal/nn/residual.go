@@ -36,6 +36,11 @@ func NewResidual(inC, outC int, rng *stats.RNG) *Residual {
 func (r *Residual) setBufferReuse(on bool) {
 	r.relu1.setBufferReuse(on)
 	r.relu2.setBufferReuse(on)
+	r.Conv1.setBufferReuse(on)
+	r.Conv2.setBufferReuse(on)
+	if r.Proj != nil {
+		r.Proj.setBufferReuse(on)
+	}
 }
 
 // Forward runs the block.

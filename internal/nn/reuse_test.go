@@ -71,6 +71,29 @@ func TestBufferReuseBitIdentical(t *testing.T) {
 	}
 }
 
+// TestConv2DBufferReuseZeroAlloc pins the conv layer's steady state: with
+// reuse on and shapes warmed, a Forward/Backward pair must not allocate.
+// The dims keep every matmul under the blocked/parallel dispatch thresholds,
+// so the assertion isolates the layer's own buffers from kernel scratch.
+func TestConv2DBufferReuseZeroAlloc(t *testing.T) {
+	rng := stats.NewRNG(5)
+	c := NewConv2D(3, 4, 3, 3, 1, 1, rng)
+	c.setBufferReuse(true)
+	x := tensor.New(2, 3, 6, 6)
+	x.RandNormal(rng, 1)
+	out := c.Forward(x, true)
+	grad := tensor.New(out.Shape...)
+	grad.RandNormal(rng, 1)
+	c.Backward(grad)
+	if allocs := testing.AllocsPerRun(20, func() {
+		c.Forward(x, true)
+		c.Backward(grad)
+		//lint:ignore float-eq AllocsPerRun returns an exact integer count
+	}); allocs != 0 {
+		t.Fatalf("warm Conv2D step allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // TestParamVectorIntoReuses checks the in-place flatten reuses a
 // sufficiently large destination and matches ParamVector exactly.
 func TestParamVectorIntoReuses(t *testing.T) {

@@ -79,6 +79,28 @@ func AddInto(a, b, dst []float64) {
 	}
 }
 
+// AxpbyInto computes dst = a·x + b·y in one fused pass — the leaf kernel of
+// the aggregation tree reduction, folding two weighted client updates without
+// an intermediate scaled copy. dst may alias x or y. Per element the
+// operation order is fixed (a·x, then b·y, then one add), so results are
+// deterministic regardless of call site.
+//
+//lint:hotpath
+func AxpbyInto(a float64, x []float64, b float64, y, dst []float64) {
+	checkLen("AxpbyInto", len(x), len(dst))
+	checkLen("AxpbyInto", len(y), len(dst))
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = a*x[i] + b*y[i]
+		dst[i+1] = a*x[i+1] + b*y[i+1]
+		dst[i+2] = a*x[i+2] + b*y[i+2]
+		dst[i+3] = a*x[i+3] + b*y[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a*x[i] + b*y[i]
+	}
+}
+
 // ScaleSlice computes x *= k in place.
 //
 //lint:hotpath

@@ -61,6 +61,18 @@ func TestKernelsMatchNaive(t *testing.T) {
 		}
 		ScaleSlice(k, got)
 		mustEqualBits(t, "ScaleSlice", n, got, want)
+
+		const k2 = 0.63
+		for i := range want {
+			want[i] = k*a[i] + k2*b[i]
+		}
+		AxpbyInto(k, a, k2, b, got)
+		mustEqualBits(t, "AxpbyInto", n, got, want)
+
+		// Aliased dst: the tree reduction folds in place, dst == x.
+		copy(got, a)
+		AxpbyInto(k, got, k2, b, got)
+		mustEqualBits(t, "AxpbyInto aliased", n, got, want)
 	}
 }
 
@@ -80,6 +92,7 @@ func TestKernelsLengthMismatchPanics(t *testing.T) {
 		func() { ScaleInto(1, make([]float64, 3), make([]float64, 4)) },
 		func() { SubInto(make([]float64, 4), make([]float64, 3), make([]float64, 4)) },
 		func() { AddInto(make([]float64, 3), make([]float64, 4), make([]float64, 4)) },
+		func() { AxpbyInto(1, make([]float64, 3), 1, make([]float64, 4), make([]float64, 4)) },
 	}
 	for i, fn := range cases {
 		func() {
@@ -104,6 +117,7 @@ func TestKernelsZeroAlloc(t *testing.T) {
 		AddInto(a, a, dst)
 		SubInto(a, a, dst)
 		ScaleSlice(0.999, dst)
+		AxpbyInto(0.5, a, 0.5, a, dst)
 		//lint:ignore float-eq test asserts exact deterministic output
 	}); n != 0 {
 		t.Fatalf("kernels allocated %.1f times per run, want 0", n)

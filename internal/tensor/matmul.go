@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the approximate number of multiply-adds below which a
@@ -11,20 +12,67 @@ import (
 // tiny matrices.
 const parallelThreshold = 1 << 16
 
+// procs caches the effective worker count for the kernel dispatch.
+// runtime.GOMAXPROCS(0) takes the scheduler lock on every call, which is
+// real contention when many workers dispatch matmuls concurrently — and pure
+// waste on the MaxParallel=1 serial path, which used to consult the runtime
+// once per matmul. The cache is refreshed lazily on first use and by
+// SyncProcs.
+var procs atomic.Int32
+
+// SyncProcs re-reads the effective worker count — min(GOMAXPROCS, NumCPU) —
+// into the dispatch cache and returns it. GOMAXPROCS above the physical core
+// count is pure oversubscription for compute-bound kernels: the goroutine
+// fan-out adds handoffs without adding compute, and the bench grid measured
+// a medium-scale training round at 0.60× the serial baseline with
+// GOMAXPROCS=8 on one core before this cap. Call sites that change
+// GOMAXPROCS and then expect the kernels to notice (the training engine at
+// setup, benchmarks, replay tests) call this once at the boundary; the hot
+// path itself only ever loads the atomic. A stale cache can only mis-pick
+// the serial/parallel path, never change results — every path is
+// bit-identical.
+func SyncProcs() int {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	procs.Store(int32(n))
+	return n
+}
+
+// Procs returns the cached effective worker count, syncing on first use.
+// Other packages size their compute fan-out (parallel evaluation, engine
+// defaults) from this so the whole process shares one oversubscription
+// policy.
+func Procs() int { return cachedProcs() }
+
+// cachedProcs returns the cached effective worker count, syncing on first
+// use.
+func cachedProcs() int {
+	p := procs.Load()
+	if p == 0 {
+		return SyncProcs()
+	}
+	return int(p)
+}
+
 // serialRows reports whether a rows×(work) matmul should run inline. Callers
 // dispatch to the named row kernels directly in that case, so the hot path
 // of small matrices never materializes a closure — a per-call heap
 // allocation that would otherwise defeat the training loop's zero-alloc
-// steady state.
+// steady state. The cheap size checks run first; the parallelism probe is a
+// cached atomic load, so no path touches the runtime.
 func serialRows(rows, work int) bool {
-	return work < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 || rows <= 1
+	return work < parallelThreshold || rows <= 1 || cachedProcs() <= 1
 }
 
 // MatMul computes dst = a × b for 2-D tensors a (m×k) and b (k×n), writing
-// into dst (m×n). dst must not alias a or b. Rows of the output are computed
-// in parallel across GOMAXPROCS workers when the problem is large enough;
-// each output element is still a sequentially-ordered reduction, so results
-// are bit-for-bit deterministic regardless of parallelism.
+// into dst (m×n). dst must not alias a or b. Large dense problems run on the
+// cache-blocked tiled kernels (see blocked.go), fanned out across 2-D tiles;
+// small or very sparse ones stay on the zero-skipping row kernels. Each
+// output element is a sequentially-ordered reduction over p = 0..k-1 on
+// every path, so results are bit-for-bit identical regardless of kernel
+// choice or parallelism.
 func MatMul(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
@@ -33,6 +81,10 @@ func MatMul(dst, a, b *Tensor) {
 	}
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMul dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if useBlocked(m, k, n, a.Data, blockedSparseCutoff) {
+		blockedMatMul(dst.Data, a.Data, b.Data, m, k, n)
+		return
 	}
 	if serialRows(m, m*n*k) {
 		matmulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
@@ -76,6 +128,10 @@ func MatMulAT(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAT dst %v, want [%d %d]", dst.Shape, m, n))
 	}
+	if useBlocked(m, k, n, a.Data, blockedSparseCutoff) {
+		blockedMatMulAT(dst.Data, a.Data, b.Data, m, k, n)
+		return
+	}
 	if serialRows(m, m*n*k) {
 		matmulATRows(dst.Data, a.Data, b.Data, 0, m, k, m, n)
 		return
@@ -117,6 +173,10 @@ func MatMulBT(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulBT dst %v, want [%d %d]", dst.Shape, m, n))
 	}
+	if useBlocked(m, k, n, a.Data, sparseCutoffNever) {
+		blockedMatMulBT(dst.Data, a.Data, b.Data, m, k, n)
+		return
+	}
 	if serialRows(m, m*n*k) {
 		matmulBTRows(dst.Data, a.Data, b.Data, 0, m, k, n)
 		return
@@ -126,7 +186,10 @@ func MatMulBT(dst, a, b *Tensor) {
 	})
 }
 
-// matmulBTRows computes rows [lo, hi) of dst = a×bᵀ.
+// matmulBTRows computes rows [lo, hi) of dst = a×bᵀ. The zero skip mirrors
+// matmulRows/matmulATRows: arow's zero pattern is fixed across the whole j
+// loop, so the branch is predictable after the first column, and ReLU-sparse
+// gradients (the dX = dY·Wᵀ call site) skip about half the multiply-adds.
 func matmulBTRows(dst, a, b []float64, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		arow := a[i*k : (i+1)*k]
@@ -135,6 +198,10 @@ func matmulBTRows(dst, a, b []float64, lo, hi, k, n int) {
 			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
+				//lint:ignore float-eq sparsity fast path: skipping exact zeros changes no bits of the result
+				if av == 0 {
+					continue
+				}
 				s += av * brow[p]
 			}
 			drow[j] = s
@@ -142,10 +209,12 @@ func matmulBTRows(dst, a, b []float64, lo, hi, k, n int) {
 	}
 }
 
-// parallelRows partitions [0, rows) across GOMAXPROCS workers. Callers have
-// already decided against the inline path via serialRows.
+// parallelRows partitions [0, rows) across the cached GOMAXPROCS workers.
+// Callers have already decided against the inline path via serialRows. It
+// remains the fan-out for mid-sized problems when blocking is disabled; the
+// blocked path uses 2-D tile dispatch instead (see blockedLoop).
 func parallelRows(rows int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := cachedProcs()
 	if workers > rows {
 		workers = rows
 	}
