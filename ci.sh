@@ -32,23 +32,32 @@
 #                        serial baseline, so this gates the blocked-GEMM
 #                        + tree-aggregation determinism contract on every
 #                        push (full grid: felbench -bench all)
-#   8. fuzz smoke      — every fuzz target runs 10s of randomized inputs
-#                        (currently FuzzDecodeFrame over the wire codec,
-#                        seeded from faultnet's corruption mutators)
-#   9. chaos smoke     — felnode -chaos runs a named fault-injection
+#   8. async smoke     — the buffered-async determinism gate: the α=0
+#                        full-buffer property test (async ≡ sync bit for
+#                        bit at several parallelism levels) runs under
+#                        -race, then felbench -exp async-vs-sync drives
+#                        every aggregation mode end to end and exits 1 if
+#                        any gate fails (bit-identity, strictly fewer
+#                        logical ticks, equal-or-better accuracy)
+#   9. fuzz smoke      — every fuzz target runs randomized inputs on a 10s
+#                        total budget (FuzzDecodeFrame over the wire codec
+#                        and FuzzArrivalLogFrame over the arrival-log
+#                        frames, both seeded from faultnet's corruption
+#                        mutators)
+#  10. chaos smoke     — felnode -chaos runs a named fault-injection
 #                        scenario twice against a full loopback federation
 #                        and diffs the fault event logs and timing-masked
 #                        metrics snapshots byte for byte
-#  10. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
+#  11. felnode smoke   — a real networked loopback job over 127.0.0.1 TCP
 #                        (2 edges × 12 clients × 2 rounds), which also
 #                        cross-checks accuracy against the in-process
 #                        trainer and transport bytes against the codec's
 #                        accounting
-#  11. metrics smoke   — the same loopback job with -metrics: polls the
+#  12. metrics smoke   — the same loopback job with -metrics: polls the
 #                        live HTTP endpoint until the snapshot exposes
 #                        fel_wire_bytes_total and checks every line parses
 #                        as Prometheus text exposition
-#  12. load smoke      — the felserve serving layer under -race: hundreds of
+#  13. load smoke      — the felserve serving layer under -race: hundreds of
 #                        loopback subscribers fan in on a multi-job cloud
 #                        (TestServeLoadSmoke), every subscriber must land on
 #                        the correct final aggregate and the goroutine count
@@ -84,8 +93,8 @@ trap - EXIT
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (tensor, core, simnet, wire, fednode, faultnet, metrics, felserve)"
-go test -race ./internal/tensor ./internal/core ./internal/simnet ./internal/wire ./internal/fednode ./internal/faultnet/... ./internal/metrics ./internal/felserve
+echo "== go test -race (tensor, core, async, simnet, wire, fednode, faultnet, metrics, felserve)"
+go test -race ./internal/tensor ./internal/core ./internal/async ./internal/simnet ./internal/wire ./internal/fednode ./internal/faultnet/... ./internal/metrics ./internal/felserve
 
 echo "== scale smoke (O(selected) memory under -race, 100k grid row via felbench)"
 go test -race -count=1 -run 'TestPopScaleOSelectedMemory' ./internal/experiments
@@ -110,8 +119,21 @@ fi
 rm -rf "$perfdir"
 trap - EXIT
 
-echo "== go test -fuzz smoke (10s per target)"
-go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s
+echo "== async smoke (alpha=0 equivalence under -race, async-vs-sync gates via felbench)"
+go test -race -count=1 -run 'TestAsyncAlphaZeroFullBufferEquivalence' ./internal/core
+asyncdir="$(mktemp -d)"
+trap 'rm -rf "$asyncdir"' EXIT
+go run ./cmd/felbench -exp async-vs-sync -scale small -out "$asyncdir"
+if ! grep -q '"Pass": true' "$asyncdir/BENCH_async.json"; then
+  echo "ci.sh: async-vs-sync gates failed" >&2
+  exit 1
+fi
+rm -rf "$asyncdir"
+trap - EXIT
+
+echo "== go test -fuzz smoke (10s total across targets)"
+go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 5s
+go test ./internal/async -run '^$' -fuzz FuzzArrivalLogFrame -fuzztime 5s
 
 echo "== felnode -chaos smoke (deterministic replay)"
 chaosdir="$(mktemp -d)"

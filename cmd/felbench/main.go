@@ -135,6 +135,24 @@ func writeJSON(dir, name string, v any) {
 	fmt.Println("wrote", path)
 }
 
+// runAsyncBench runs the async-vs-sync aggregation grid under the
+// straggler-storm delay model and writes BENCH_async.json into dir
+// (current directory when empty). Exits 1 if any gate fails: the α=0
+// full-buffer cell must be bit-identical to sync, both async modes must
+// finish in strictly fewer logical ticks, and the best async cell must
+// match or beat the synchronous final accuracy.
+func runAsyncBench(sc experiments.Scale, seed uint64, dir string) {
+	fmt.Printf("=== async-vs-sync (scale=%s seed=%d) ===\n", sc.Name, seed)
+	res := experiments.AsyncVsSync(sc, seed, func(line string) { fmt.Println(line) })
+	fmt.Printf("gates: alpha0-bit-identical=%v buffered-fewer-ticks=%v semisync-fewer-ticks=%v equal-or-better-accuracy=%v\n",
+		res.Alpha0BitIdentical, res.BufferedFewerTicks, res.SemiSyncFewerTicks, res.EqualOrBetterAccuracy)
+	writeJSON(dir, "BENCH_async.json", res)
+	if !res.Pass {
+		fmt.Fprintln(os.Stderr, "felbench: async-vs-sync gates failed")
+		os.Exit(1)
+	}
+}
+
 // runScaleBench runs the population-scaling grid and writes
 // BENCH_scale.json into dir (current directory when empty).
 func runScaleBench(spec string, seed uint64, dir string) {
@@ -218,6 +236,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felbench:", err)
 		os.Exit(2)
+	}
+	// async-vs-sync writes a gated JSON artifact rather than a CSV figure,
+	// so it routes around the registry loop.
+	if *exp == "async-vs-sync" {
+		runAsyncBench(sc, *seed, *out)
+		return
 	}
 	reg := experiments.Registry()
 	var ids []string

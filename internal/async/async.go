@@ -1,0 +1,127 @@
+// Package async defines the buffered-asynchronous and semi-synchronous
+// aggregation semantics that extend the paper's bulk-synchronous Alg. 1
+// (ROADMAP item 5, FedBuff-style): client updates are folded into a group
+// buffer as they "arrive", each weighted by a staleness discount
+// w(τ) = 1/(1+τ)^α, with arrival order driven by a seeded logical clock
+// over simulated link delays and recorded to an arrival Log so any run
+// replays bit-identically from (seed, config).
+//
+// The package owns the mode vocabulary, the staleness function, the delay
+// model (the logical clock's tick source), and the arrival-log event record
+// plus its deterministic byte and wire encodings. The executor that threads
+// these semantics through the training engine lives in internal/core
+// (async_engine.go); keeping the two apart lets the wire and serving layers
+// speak arrival logs without importing the trainer.
+//
+// Determinism contract: every delay draw comes from a dedicated RNG
+// reseeded with DispatchSeed(seed, round, group, client, k) — a pure
+// function of the dispatch coordinates, never of scheduling — and arrival
+// ties break on dispatch order. Two runs of the same (System, Config)
+// therefore produce byte-identical logs and Float64bits-identical weights
+// at any MaxParallel, and a run resumed from a checkpoint appends to its
+// log exactly what the uninterrupted run would have written.
+package async
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects the aggregation semantics of a training run.
+type Mode int
+
+// The three aggregation modes compared by the async-vs-sync bench.
+const (
+	// Sync is the paper's bulk-synchronous Alg. 1: every group round waits
+	// for all member updates before aggregating.
+	Sync Mode = iota
+	// Buffered is FedBuff-style buffered asynchrony: the group model is
+	// re-aggregated whenever BufferFrac of the membership has checked in,
+	// with stale updates discounted by w(τ).
+	Buffered
+	// SemiSync runs fixed per-round deadlines: updates arriving before the
+	// deadline fold at the deadline, late updates carry over into later
+	// rounds with growing staleness, and updates still in flight after the
+	// final deadline are discarded.
+	SemiSync
+)
+
+// String names the mode as experiment output spells it.
+func (m Mode) String() string {
+	switch m {
+	case Sync:
+		return "sync"
+	case Buffered:
+		return "async"
+	case SemiSync:
+		return "semisync"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config bundles the asynchrony knobs of one training run. The zero value
+// is the synchronous paper configuration.
+type Config struct {
+	// Mode selects the aggregation semantics.
+	Mode Mode
+	// Alpha is the staleness exponent: folded updates are weighted by
+	// n_i · 1/(1+τ)^α where τ counts the model versions published since
+	// the update was dispatched. 0 disables the discount.
+	Alpha float64
+	// BufferFrac sets the Buffered flush threshold as a fraction of the
+	// group size: the buffer folds once ceil(BufferFrac·n) updates have
+	// arrived since the last flush (dropped updates count as arrivals —
+	// the loss is observed). 0 means 1.0, the full buffer that reduces
+	// exactly to the synchronous group round.
+	BufferFrac float64
+	// DeadlineTicks is the SemiSync per-round deadline on the logical
+	// clock. Must be positive in SemiSync mode.
+	DeadlineTicks int64
+	// Delays is the logical clock's tick source: every dispatched update's
+	// arrival time is now + Delays.Draw(...). A zero model makes all
+	// delays zero (arrival order = dispatch order).
+	Delays DelayModel
+}
+
+// Validate rejects configurations the executor would misbehave on.
+func (c Config) Validate() error {
+	switch {
+	case c.Mode < Sync || c.Mode > SemiSync:
+		return fmt.Errorf("async: unknown mode %d", int(c.Mode))
+	case c.Alpha < 0 || math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0):
+		return fmt.Errorf("async: Alpha must be finite and >= 0, got %v", c.Alpha)
+	case c.BufferFrac < 0 || c.BufferFrac > 1:
+		return fmt.Errorf("async: BufferFrac must be in [0,1], got %v", c.BufferFrac)
+	case c.Mode == SemiSync && c.DeadlineTicks <= 0:
+		return fmt.Errorf("async: SemiSync needs DeadlineTicks > 0, got %d", c.DeadlineTicks)
+	}
+	return c.Delays.Validate()
+}
+
+// FlushThreshold returns the Buffered arrival count that triggers a flush
+// for a group of n clients: ceil(BufferFrac·n), clamped to [1, n].
+func (c Config) FlushThreshold(n int) int {
+	frac := c.BufferFrac
+	if frac <= 0 {
+		frac = 1
+	}
+	b := int(math.Ceil(frac * float64(n)))
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// StalenessWeight is the FedBuff discount w(τ) = 1/(1+τ)^α. τ ≤ 0 (a fresh
+// update) and α = 0 both yield exactly 1.0, which is what makes the
+// full-buffer configuration bit-identical to the synchronous fold.
+func StalenessWeight(tau int, alpha float64) float64 {
+	//lint:ignore float-eq α=0 must disable the discount exactly — the sync-equivalence gate depends on w being the literal 1.0
+	if tau <= 0 || alpha == 0 {
+		return 1
+	}
+	return math.Pow(1+float64(tau), -alpha)
+}

@@ -1,0 +1,141 @@
+package async_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/faultnet"
+	"repro/internal/grouping"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/wire"
+
+	"repro/internal/core"
+)
+
+const fuzzMaxFrame = 1 << 20
+
+// recordedLog runs one small buffered-async training and returns its real
+// arrival log — the fuzz corpus is seeded from actual recorded frames, not
+// hand-built ones, so the fuzzer starts from the payload shapes production
+// writes.
+func recordedLog(tb testing.TB) *async.Log {
+	tb.Helper()
+	gen := data.FlatConfig(4, 10, 1)
+	gen.Noise = 0.8
+	sys := core.NewSystem(core.SystemConfig{
+		Generator: gen,
+		Partition: data.PartitionConfig{
+			NumClients: 8, Alpha: 0.5,
+			MinSamples: 8, MaxSamples: 16, MeanSamples: 12, StdSamples: 3,
+			Seed: 2,
+		},
+		NumEdges: 1,
+		TestSize: 32,
+		NewModel: func(s uint64) *nn.Sequential {
+			return nn.NewMLP(10, []int{8}, 4, s)
+		},
+		ModelSeed: 7,
+	})
+	res := core.Train(sys, core.Config{
+		GlobalRounds: 2, GroupRounds: 2, LocalEpochs: 1,
+		BatchSize: 8, LR: 0.05, SampleGroups: 1,
+		Grouping:    grouping.CoVGrouping{Config: grouping.Config{MinGS: 3, MaxCoV: 0.5, MergeLeftover: true}},
+		Sampling:    sampling.Random,
+		Weights:     sampling.Biased,
+		Seed:        42,
+		DropoutProb: 0.2,
+		CostProfile: cost.CIFARProfile(),
+		CostOps:     cost.DefaultOps(),
+		Async: async.Config{
+			Mode: async.Buffered, Alpha: 0.5, BufferFrac: 0.5,
+			Delays: async.StragglerStorm(),
+		},
+	})
+	if res.ArrivalLog == nil || res.ArrivalLog.Len() == 0 {
+		tb.Fatal("recorded run produced no arrival log")
+	}
+	return res.ArrivalLog
+}
+
+// FuzzArrivalLogFrame is the satellite fuzz target for the new wire
+// vocabulary: over arbitrary bytes, frame decode plus the strict event
+// decode never panic, reject every corruption with an error, and any
+// accepted frame round-trips through EventsToMessages bit-exactly.
+func FuzzArrivalLogFrame(f *testing.F) {
+	log := recordedLog(f)
+	rng := stats.NewRNG(0xa51c)
+	for _, m := range async.EventsToMessages(log.Events(), 1) {
+		var buf bytes.Buffer
+		if _, err := wire.Encode(&buf, m); err != nil {
+			f.Fatalf("Encode: %v", err)
+		}
+		frame := buf.Bytes()
+		f.Add(frame)
+		f.Add(faultnet.CorruptBits(frame, 3, rng))
+		f.Add(faultnet.TruncateFrame(frame, rng))
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, dataBytes []byte) {
+		m, err := wire.Decode(bytes.NewReader(dataBytes), fuzzMaxFrame)
+		if err != nil {
+			if class := wire.ErrorClass(err); class == "" || class == "timeout" {
+				t.Fatalf("Decode error %v maps to class %q", err, class)
+			}
+			return
+		}
+		if m.Type != wire.ArrivalLog {
+			return
+		}
+		events, err := async.EventsFromMessage(m)
+		if err != nil {
+			return // strictly rejected — the contract under mutation
+		}
+		var back []async.Event
+		for _, rm := range async.EventsToMessages(events, m.Round) {
+			if rm.Round != m.Round {
+				t.Fatalf("re-encode changed round: %d vs %d", rm.Round, m.Round)
+			}
+			ev, err := async.EventsFromMessage(rm)
+			if err != nil {
+				t.Fatalf("re-encoded frame rejected: %v", err)
+			}
+			back = append(back, ev...)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d vs %d", len(back), len(events))
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("round trip changed event %d: %+v vs %+v", i, events[i], back[i])
+			}
+		}
+	})
+}
+
+// TestArrivalLogFrameCorruptionRejected pins the frame-level guarantee the
+// fuzz corpus leans on: bit flips and truncations of a recorded log frame
+// never decode.
+func TestArrivalLogFrameCorruptionRejected(t *testing.T) {
+	log := recordedLog(t)
+	msgs := async.EventsToMessages(log.Events(), 1)
+	var buf bytes.Buffer
+	if _, err := wire.Encode(&buf, msgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for seed := uint64(0); seed < 32; seed++ {
+		rng := stats.NewRNG(seed)
+		if _, err := wire.Decode(bytes.NewReader(faultnet.CorruptBits(frame, 1, rng)), fuzzMaxFrame); err == nil {
+			t.Fatalf("seed %d: corrupted arrival-log frame decoded", seed)
+		}
+		if _, err := wire.Decode(bytes.NewReader(faultnet.TruncateFrame(frame, stats.NewRNG(seed))), fuzzMaxFrame); err == nil {
+			t.Fatalf("seed %d: truncated arrival-log frame decoded", seed)
+		}
+	}
+}

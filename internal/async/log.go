@@ -1,0 +1,211 @@
+package async
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Kind classifies one arrival-log event.
+type Kind int
+
+// The five event kinds an executor records.
+const (
+	// Arrive: an update reached the group buffer (and was folded at the
+	// next flush). Stale is the version lag at fold time.
+	Arrive Kind = iota
+	// Drop: the update was lost to client dropout; the arrival slot is
+	// observed but nothing folds.
+	Drop
+	// Flush: the buffer folded into the group model. Stale carries the
+	// number of updates folded (the buffer depth).
+	Flush
+	// Carry: a semi-sync update missed a round deadline and carries over;
+	// one event per missed deadline. Stale is the deadline round missed.
+	Carry
+	// Late: a semi-sync update was still in flight after the final
+	// deadline and was discarded.
+	Late
+)
+
+// String names the kind as logs and test output spell it.
+func (k Kind) String() string {
+	switch k {
+	case Arrive:
+		return "arrive"
+	case Drop:
+		return "drop"
+	case Flush:
+		return "flush"
+	case Carry:
+		return "carry"
+	case Late:
+		return "late"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+const kindMax = Late
+
+// Event is one arrival-log record. Events are pure value records: two runs
+// agree iff their event sequences are identical, which Bytes makes
+// checkable with one compare.
+type Event struct {
+	// Round is the global round the event belongs to.
+	Round int
+	// Group is the group ID; Client is the client ID (-1 for group-scoped
+	// events such as Flush).
+	Group, Client int
+	// Kind classifies the event.
+	Kind Kind
+	// Tick is the logical-clock time of the event within its group.
+	Tick int64
+	// Stale is kind-dependent: version lag (Arrive), buffer depth (Flush),
+	// missed deadline round (Carry), 0 otherwise.
+	Stale int
+}
+
+// String renders the event in the one-line form tests diff.
+func (e Event) String() string {
+	return fmt.Sprintf("r%d g%d c%d %s t%d s%d",
+		e.Round, e.Group, e.Client, e.Kind, e.Tick, e.Stale)
+}
+
+// Log is an append-only arrival log. It is not internally synchronized:
+// executors record per-group into private slices and the trainer merges
+// them in selection order, so the log itself is only ever touched from one
+// goroutine.
+type Log struct {
+	events []Event
+}
+
+// Append adds events in order.
+func (l *Log) Append(events ...Event) {
+	l.events = append(l.events, events...)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the recorded sequence. The slice is shared; callers must
+// not mutate it.
+func (l *Log) Events() []Event { return l.events }
+
+// Counts tallies events by kind.
+func (l *Log) Counts() map[Kind]int {
+	m := make(map[Kind]int, int(kindMax)+1)
+	for _, e := range l.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Clone deep-copies the log (checkpoint export snapshots it).
+func (l *Log) Clone() *Log {
+	c := &Log{events: make([]Event, len(l.events))}
+	copy(c.events, l.events)
+	return c
+}
+
+// Bytes renders the log to a canonical little-endian byte string: 6 fixed
+// words per event, no framing. Two runs replay identically iff their
+// Bytes are equal.
+func (l *Log) Bytes() []byte {
+	buf := make([]byte, 0, 48*len(l.events))
+	var w [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(w[:], uint64(v))
+		buf = append(buf, w[:]...)
+	}
+	for _, e := range l.events {
+		put(int64(e.Round))
+		put(int64(e.Group))
+		put(int64(e.Client))
+		put(int64(e.Kind))
+		put(e.Tick)
+		put(int64(e.Stale))
+	}
+	return buf
+}
+
+// String renders one event per line, for test failure diffs.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// logChunk caps events per ArrivalLog wire frame so one frame never
+// exceeds the codec's comfort zone (5 ints + 1 word per event).
+const logChunk = 4096
+
+// EventsToMessages encodes events as a sequence of wire.ArrivalLog
+// messages of at most logChunk events each, with Seq numbering the chunks
+// from 0 and Round stamped on every frame. An empty event list encodes to
+// a single empty frame so decoders can distinguish "empty log" from
+// "log absent".
+func EventsToMessages(events []Event, round uint32) []*wire.Message {
+	var msgs []*wire.Message
+	for first := true; first || len(events) > 0; first = false {
+		n := len(events)
+		if n > logChunk {
+			n = logChunk
+		}
+		chunk := events[:n]
+		events = events[n:]
+		m := &wire.Message{
+			Type:  wire.ArrivalLog,
+			Round: round,
+			Seq:   uint32(len(msgs)),
+			Ints:  make([]int32, 0, 5*n),
+			Words: make([]uint64, 0, n),
+		}
+		for _, e := range chunk {
+			m.Ints = append(m.Ints,
+				int32(e.Round), int32(e.Group), int32(e.Client),
+				int32(e.Kind), int32(e.Stale))
+			m.Words = append(m.Words, uint64(e.Tick))
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// EventsFromMessage decodes one ArrivalLog frame, strictly: the Ints and
+// Words lengths must agree (5:1), kinds must be in vocabulary, and Floats
+// must be empty. Chunks decode independently; callers append in Seq order.
+func EventsFromMessage(m *wire.Message) ([]Event, error) {
+	if m.Type != wire.ArrivalLog {
+		return nil, fmt.Errorf("async: not an arrival-log frame: %v", m.Type)
+	}
+	if len(m.Floats) != 0 {
+		return nil, fmt.Errorf("async: arrival-log frame carries %d floats", len(m.Floats))
+	}
+	if len(m.Ints) != 5*len(m.Words) {
+		return nil, fmt.Errorf("async: arrival-log frame shape %d ints / %d words", len(m.Ints), len(m.Words))
+	}
+	events := make([]Event, 0, len(m.Words))
+	for i, tick := range m.Words {
+		k := Kind(m.Ints[5*i+3])
+		if k < Arrive || k > kindMax {
+			return nil, fmt.Errorf("async: arrival-log event %d has unknown kind %d", i, int(k))
+		}
+		if int64(tick) < 0 {
+			return nil, fmt.Errorf("async: arrival-log event %d has negative tick", i)
+		}
+		events = append(events, Event{
+			Round:  int(m.Ints[5*i+0]),
+			Group:  int(m.Ints[5*i+1]),
+			Client: int(m.Ints[5*i+2]),
+			Kind:   k,
+			Tick:   int64(tick),
+			Stale:  int(m.Ints[5*i+4]),
+		})
+	}
+	return events, nil
+}

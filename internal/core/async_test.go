@@ -1,0 +1,346 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/compress"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/grouping"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// wholeEdgeGrouping forms exactly one group per edge holding every client —
+// the property tests use it to pin the group size precisely.
+type wholeEdgeGrouping struct{}
+
+func (wholeEdgeGrouping) Name() string { return "WholeEdge" }
+
+func (wholeEdgeGrouping) Form(clients []*data.Client, classes, edge, firstID int, _ *stats.RNG) []*grouping.Group {
+	return []*grouping.Group{grouping.NewGroup(firstID, edge, clients, classes)}
+}
+
+// asyncTestSystem is a single-edge population of exactly n clients, sized
+// for speed: the whole-edge grouping turns it into one group of n.
+func asyncTestSystem(n int, seed uint64) *System {
+	gen := data.FlatConfig(4, 10, seed)
+	gen.Noise = 0.8
+	return NewSystem(SystemConfig{
+		Generator: gen,
+		Partition: data.PartitionConfig{
+			NumClients: n, Alpha: 0.5,
+			MinSamples: 8, MaxSamples: 16, MeanSamples: 12, StdSamples: 3,
+			Seed: seed + 1,
+		},
+		NumEdges: 1,
+		TestSize: 64,
+		NewModel: func(s uint64) *nn.Sequential {
+			return nn.NewMLP(10, []int{8}, 4, s)
+		},
+		ModelSeed: 7,
+	})
+}
+
+func asyncTestConfig() Config {
+	return Config{
+		GlobalRounds: 2, GroupRounds: 2, LocalEpochs: 1,
+		BatchSize: 8, LR: 0.05, SampleGroups: 1,
+		Grouping:    wholeEdgeGrouping{},
+		Sampling:    sampling.Random,
+		Weights:     sampling.Biased,
+		Seed:        42,
+		DropoutProb: 0.3,
+		CostProfile: cost.CIFARProfile(),
+		CostOps:     cost.DefaultOps(),
+	}
+}
+
+func sameFloatBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAsyncAlphaZeroFullBufferEquivalence is the tentpole property: with a
+// full buffer and α=0, buffered-async aggregation must reduce to exactly
+// the synchronous tree-aggregation result — Float64bits-equal — for every
+// group size 1..33 and MaxParallel ∈ {1,2,8}, under a straggler-storm
+// delay model that scrambles the arrival permutation. The flush consumes
+// the whole membership in canonical client order, so no permutation and no
+// worker interleaving may leak into the fold.
+func TestAsyncAlphaZeroFullBufferEquivalence(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		sys := asyncTestSystem(n, uint64(100+n))
+
+		ref := asyncTestConfig()
+		ref.MaxParallel = 1
+		sync := Train(sys, ref)
+
+		for _, par := range []int{1, 2, 8} {
+			cfg := asyncTestConfig()
+			cfg.MaxParallel = par
+			cfg.Async = async.Config{
+				Mode:       async.Buffered,
+				Alpha:      0,
+				BufferFrac: 1,
+				Delays:     async.StragglerStorm(),
+			}
+			res := Train(sys, cfg)
+			if !sameFloatBits(sync.Params, res.Params) {
+				t.Fatalf("n=%d par=%d: async α=0 full-buffer weights diverge from sync", n, par)
+			}
+			if res.Dropouts != sync.Dropouts {
+				t.Fatalf("n=%d par=%d: async dropouts %d, sync %d", n, par, res.Dropouts, sync.Dropouts)
+			}
+			if res.UplinkBytes != sync.UplinkBytes {
+				t.Fatalf("n=%d par=%d: async uplink %d, sync %d", n, par, res.UplinkBytes, sync.UplinkBytes)
+			}
+			if res.ArrivalLog == nil || res.ArrivalLog.Len() == 0 {
+				t.Fatalf("n=%d par=%d: async run recorded no arrival log", n, par)
+			}
+		}
+	}
+}
+
+// TestAsyncFullBufferEquivalenceAnyAlpha pins the stronger structural
+// fact behind the α=0 gate: at a full buffer every update folds at
+// staleness zero, where w(τ)=1 for every α, so the equivalence cannot
+// depend on the discount at all.
+func TestAsyncFullBufferEquivalenceAnyAlpha(t *testing.T) {
+	sys := asyncTestSystem(9, 7)
+	ref := asyncTestConfig()
+	ref.MaxParallel = 1
+	sync := Train(sys, ref)
+	for _, alpha := range []float64{0.5, 2} {
+		cfg := asyncTestConfig()
+		cfg.Async = async.Config{
+			Mode: async.Buffered, Alpha: alpha, BufferFrac: 1,
+			Delays: async.StragglerStorm(),
+		}
+		if res := Train(sys, cfg); !sameFloatBits(sync.Params, res.Params) {
+			t.Fatalf("α=%v full-buffer weights diverge from sync", alpha)
+		}
+	}
+}
+
+// TestSemiSyncLargeDeadlineMatchesSync: a deadline no update can miss
+// degenerates semi-sync to the synchronous schedule — every round folds
+// the full membership at staleness zero.
+func TestSemiSyncLargeDeadlineMatchesSync(t *testing.T) {
+	sys := asyncTestSystem(8, 11)
+	ref := asyncTestConfig()
+	sync := Train(sys, ref)
+	cfg := asyncTestConfig()
+	cfg.Async = async.Config{
+		Mode: async.SemiSync, Alpha: 0.5, DeadlineTicks: 1 << 20,
+		Delays: async.StragglerStorm(),
+	}
+	res := Train(sys, cfg)
+	if !sameFloatBits(sync.Params, res.Params) {
+		t.Fatal("semi-sync with an unmissable deadline diverges from sync")
+	}
+	if res.Carryovers != 0 || res.LateDrops != 0 {
+		t.Fatalf("unmissable deadline produced %d carryovers, %d late drops", res.Carryovers, res.LateDrops)
+	}
+}
+
+// asyncModeConfigs are the non-degenerate configurations the replay and
+// resume regressions sweep: a partial buffer with a real staleness
+// discount, and a tight semi-sync deadline that forces carryovers.
+func asyncModeConfigs() map[string]async.Config {
+	return map[string]async.Config{
+		"buffered": {
+			Mode: async.Buffered, Alpha: 0.5, BufferFrac: 0.5,
+			Delays: async.StragglerStorm(),
+		},
+		"semisync": {
+			Mode: async.SemiSync, Alpha: 0.5, DeadlineTicks: 30,
+			Delays: async.StragglerStorm(),
+		},
+	}
+}
+
+// TestAsyncReplayIdentical is the replay regression: for each async mode,
+// two runs from the same seed — and runs at MaxParallel 1 vs 8 — produce
+// byte-identical arrival logs and Float64bits-equal final weights.
+func TestAsyncReplayIdentical(t *testing.T) {
+	for name, acfg := range asyncModeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			sys := asyncTestSystem(12, 3)
+			var refLog []byte
+			var refParams []float64
+			for i, par := range []int{1, 1, 8} {
+				cfg := asyncTestConfig()
+				cfg.GlobalRounds = 3
+				cfg.MaxParallel = par
+				cfg.Async = acfg
+				res := Train(sys, cfg)
+				if res.ArrivalLog == nil || res.ArrivalLog.Len() == 0 {
+					t.Fatal("no arrival log recorded")
+				}
+				if i == 0 {
+					refLog = res.ArrivalLog.Bytes()
+					refParams = res.Params
+					continue
+				}
+				if !bytes.Equal(refLog, res.ArrivalLog.Bytes()) {
+					t.Fatalf("run %d (par %d): arrival log diverges:\n%s", i, par, res.ArrivalLog)
+				}
+				if !sameFloatBits(refParams, res.Params) {
+					t.Fatalf("run %d (par %d): final weights diverge", i, par)
+				}
+			}
+		})
+	}
+}
+
+// TestAsyncTrainerResume checks the mid-run boundary: exporting after 2 of
+// 4 rounds and resuming yields the same final weights and the same
+// complete arrival log as the uninterrupted run — including the adaptive
+// sampler's EWMA state, which must survive the checkpoint for the
+// remaining selections to replay.
+func TestAsyncTrainerResume(t *testing.T) {
+	for name, acfg := range asyncModeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg := asyncTestConfig()
+			cfg.GlobalRounds = 4
+			cfg.Async = acfg
+			cfg.AdaptiveSampling = &sampling.AdaptiveConfig{Beta: 0.3, Explore: 0.1}
+
+			full := Train(asyncTestSystem(12, 5), cfg)
+
+			sys := asyncTestSystem(12, 5)
+			tr := NewTrainer(sys, cfg)
+			tr.Step()
+			tr.Step()
+			st, err := tr.ExportState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr2, err := NewTrainerResumed(asyncTestSystem(12, 5), cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !tr2.Done() {
+				tr2.Step()
+			}
+			res := tr2.Finish()
+			if !sameFloatBits(full.Params, res.Params) {
+				t.Fatal("resumed weights diverge from uninterrupted run")
+			}
+			if !bytes.Equal(full.ArrivalLog.Bytes(), res.ArrivalLog.Bytes()) {
+				t.Fatalf("resumed arrival log diverges:\nfull:\n%sresumed:\n%s", full.ArrivalLog, res.ArrivalLog)
+			}
+			if full.Carryovers != res.Carryovers || full.LateDrops != res.LateDrops || full.LogicalTicks != res.LogicalTicks {
+				t.Fatalf("resumed counters diverge: carry %d/%d late %d/%d ticks %d/%d",
+					full.Carryovers, res.Carryovers, full.LateDrops, res.LateDrops,
+					full.LogicalTicks, res.LogicalTicks)
+			}
+		})
+	}
+}
+
+// TestAsyncSemiSyncCarriesAndLateDrops forces the carryover machinery: a
+// deadline shorter than the base delay means no update ever makes its own
+// round, so every fold happens at positive staleness and the final
+// deadline strands in-flight updates as late drops.
+func TestAsyncSemiSyncCarriesAndLateDrops(t *testing.T) {
+	cfg := asyncTestConfig()
+	cfg.DropoutProb = 0
+	cfg.Async = async.Config{
+		Mode: async.SemiSync, Alpha: 0.5, DeadlineTicks: 8,
+		// Delays of 10..20 against a K·D = 16 horizon: every update misses
+		// its round deadline, and the tail outlives the whole schedule.
+		Delays: async.DelayModel{BaseTicks: 10, JitterTicks: 10},
+	}
+	res := Train(asyncTestSystem(6, 9), cfg)
+	if res.Carryovers == 0 {
+		t.Fatal("tight deadline produced no carryovers")
+	}
+	if res.LateDrops == 0 {
+		t.Fatal("tight deadline produced no late drops")
+	}
+	counts := res.ArrivalLog.Counts()
+	if counts[async.Carry] != res.Carryovers || counts[async.Late] != res.LateDrops {
+		t.Fatalf("log counts %v disagree with result (carry %d, late %d)", counts, res.Carryovers, res.LateDrops)
+	}
+	// Every group spends exactly K·D ticks per global round, and rounds sum.
+	want := int64(res.RoundsRun) * int64(cfg.GroupRounds) * cfg.Async.DeadlineTicks
+	if res.LogicalTicks != want {
+		t.Fatalf("semi-sync logical ticks %d, want %d", res.LogicalTicks, want)
+	}
+}
+
+// TestAsyncTicksBeatSyncUnderStragglers is the scheduling win in
+// miniature: under the straggler-storm clock the synchronous barrier pays
+// the max of every round's draws while buffered chains only pay their own,
+// so async completes the same workload in strictly fewer logical ticks.
+func TestAsyncTicksBeatSyncUnderStragglers(t *testing.T) {
+	sys := asyncTestSystem(12, 13)
+	ref := asyncTestConfig()
+	ref.GlobalRounds = 3
+	ref.Async.Delays = async.StragglerStorm() // sync mode, priced on the clock
+	sync := Train(sys, ref)
+	if sync.LogicalTicks == 0 {
+		t.Fatal("sync run with delays enabled recorded no ticks")
+	}
+	cfg := asyncTestConfig()
+	cfg.GlobalRounds = 3
+	cfg.Async = async.Config{
+		Mode: async.Buffered, Alpha: 0.5, BufferFrac: 0.5,
+		Delays: async.StragglerStorm(),
+	}
+	res := Train(sys, cfg)
+	if res.LogicalTicks >= sync.LogicalTicks {
+		t.Fatalf("buffered ticks %d, want < sync %d", res.LogicalTicks, sync.LogicalTicks)
+	}
+}
+
+// TestAsyncConfigValidation exercises the config guards end to end.
+func TestAsyncConfigValidation(t *testing.T) {
+	bad := []async.Config{
+		{Mode: async.Mode(9)},
+		{Mode: async.Buffered, Alpha: -1},
+		{Mode: async.Buffered, BufferFrac: 1.5},
+		{Mode: async.SemiSync},
+		{Mode: async.Buffered, Delays: async.DelayModel{BaseTicks: -1}},
+		{Mode: async.Buffered, Delays: async.DelayModel{BaseTicks: 1, StragglerProb: 2}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted a bad config", i, c)
+		}
+	}
+	for i, c := range []async.Config{
+		{},
+		{Mode: async.Buffered, Alpha: 0.5, BufferFrac: 0.5, Delays: async.StragglerStorm()},
+		{Mode: async.SemiSync, DeadlineTicks: 10, Delays: async.SlowLinks()},
+	} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected a good config: %v", i, err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("compressor + async mode did not panic")
+			}
+		}()
+		cfg := asyncTestConfig()
+		cfg.Async.Mode = async.Buffered
+		// The panic fires in validate before the factory is ever called.
+		cfg.NewCompressor = func() compress.Compressor { return nil }
+		Train(asyncTestSystem(4, 1), cfg)
+	}()
+}

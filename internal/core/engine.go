@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/async"
 	"repro/internal/data"
 	"repro/internal/grouping"
 	"repro/internal/metrics"
@@ -56,6 +57,18 @@ type engine struct {
 	epochsCtr  *metrics.Counter
 	dropsCtr   *metrics.Counter
 	edgeLabels map[int]metrics.Label
+
+	// fel_async_* handles, registered only when an async mode or a delay
+	// model is configured so synchronous runs publish an unchanged metric
+	// surface (async_engine.go guards every use behind the same condition).
+	asyncStale      *metrics.Histogram
+	asyncDepth      *metrics.Histogram
+	asyncFolds      *metrics.Counter
+	asyncFlushes    *metrics.Counter
+	asyncCarry      *metrics.Counter
+	asyncLate       *metrics.Counter
+	asyncTicks      *metrics.Counter
+	asyncRoundTicks *metrics.Gauge
 }
 
 // worker is one pool slot: a private model clone with buffer reuse enabled
@@ -128,6 +141,16 @@ func newEngine(sys *System, cfg Config, local LocalUpdater, comp *compressorPool
 		edgeLabels: make(map[int]metrics.Label),
 	}
 	e.spaces.New = func() any { return &groupSpace{} }
+	if cfg.Async.Mode != async.Sync || cfg.Async.Delays.Enabled() {
+		e.asyncStale = cfg.Metrics.Histogram("fel_async_staleness")
+		e.asyncDepth = cfg.Metrics.Histogram("fel_async_buffer_depth")
+		e.asyncFolds = cfg.Metrics.Counter("fel_async_folds_total")
+		e.asyncFlushes = cfg.Metrics.Counter("fel_async_flushes_total")
+		e.asyncCarry = cfg.Metrics.Counter("fel_async_carryover_total")
+		e.asyncLate = cfg.Metrics.Counter("fel_async_late_total")
+		e.asyncTicks = cfg.Metrics.Counter("fel_async_ticks_total")
+		e.asyncRoundTicks = cfg.Metrics.Gauge("fel_async_round_ticks")
+	}
 	return e
 }
 

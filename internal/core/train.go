@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/async"
 	"repro/internal/compress"
 	"repro/internal/cost"
 	"repro/internal/grouping"
@@ -75,6 +76,20 @@ type Config struct {
 	// OnRound, when non-nil, is invoked with every round's record as it
 	// completes — live progress for CLIs and dashboards.
 	OnRound OnRoundFunc
+	// Async selects the aggregation semantics (sync, buffered-async, or
+	// semi-sync) plus the staleness discount and the logical-clock delay
+	// model driving arrival order. The zero value is the paper's
+	// bulk-synchronous Alg. 1. With a delay model configured, sync runs
+	// also price their rounds on the same clock (Result.LogicalTicks) so
+	// the modes compare on identical draws.
+	Async async.Config
+	// AdaptiveSampling, when non-nil, re-estimates the group selection
+	// probabilities online from an EWMA of observed group update norms
+	// (Chen & Vikalo-style heterogeneity-guided sampling), falling back to
+	// the configured Sampling method's CoV-derived p_g until the first
+	// observations land. Aggregation weights follow the adapted
+	// probabilities, so the global estimator stays consistent.
+	AdaptiveSampling *sampling.AdaptiveConfig
 	// Metrics, when non-nil, receives the run's observability stream:
 	// phase spans (local train, group/global aggregation, eval), per-group
 	// selection counters for auditing the sampling distribution against
@@ -120,6 +135,21 @@ type Result struct {
 	UplinkBytes int64
 	// Params is the final global parameter vector.
 	Params []float64
+	// LogicalTicks totals the run's time on the async logical clock: per
+	// global round, the slowest selected group's ticks. Sync runs
+	// accumulate it too when a delay model is configured (each round
+	// priced at the barrier: max member delay per group round), so
+	// async-vs-sync tick comparisons share the same draws. 0 without a
+	// delay model.
+	LogicalTicks int64
+	// Carryovers counts semi-sync deadline misses (one per update per
+	// deadline it overran); LateDrops counts updates discarded after the
+	// final deadline of their group's schedule.
+	Carryovers, LateDrops int
+	// ArrivalLog is the run's replay log in async modes: every arrival,
+	// dropout, flush, carryover, and late drop in deterministic order.
+	// Nil in sync mode.
+	ArrivalLog *async.Log
 }
 
 // Train runs Algorithm 1 on the system. Given equal (System, Config) inputs
@@ -195,6 +225,19 @@ func validate(sys *System, cfg Config) {
 	}
 	if cfg.Topology != nil {
 		if err := cfg.Topology.Validate(); err != nil {
+			panic(fmt.Sprintf("fel: %v", err))
+		}
+	}
+	if err := cfg.Async.Validate(); err != nil {
+		panic(fmt.Sprintf("fel: %v", err))
+	}
+	if cfg.Async.Mode != async.Sync && cfg.NewCompressor != nil {
+		// The buffered fold consumes raw slots; the compressed-delta path
+		// rewrites the group model per client, which has no async analogue.
+		panic("fel: NewCompressor requires synchronous aggregation")
+	}
+	if cfg.AdaptiveSampling != nil {
+		if err := cfg.AdaptiveSampling.Validate(); err != nil {
 			panic(fmt.Sprintf("fel: %v", err))
 		}
 	}

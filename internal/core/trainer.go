@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/async"
 	"repro/internal/compress"
 	"repro/internal/cost"
 	"repro/internal/grouping"
@@ -58,6 +60,12 @@ type Trainer struct {
 	compressors *compressorPool
 	eng         *engine
 	spaces      []*groupSpace
+	// reports and syncTicks are the async step path's per-selection scratch,
+	// aligned with spaces; adaptive is the online p_g re-estimator (nil for
+	// static sampling).
+	reports   []*asyncGroupReport
+	syncTicks []int64
+	adaptive  *sampling.Adaptive
 	// aggNodes is the global aggregation's tree-node scratch, reused across
 	// rounds so the steady-state Step stays allocation-free.
 	aggNodes [][]float64
@@ -111,6 +119,12 @@ func NewTrainer(sys *System, cfg Config) *Trainer {
 	tr.eng = newEngine(sys, cfg, tr.local, tr.compressors)
 	tr.next = make([]float64, len(tr.globalParams))
 	tr.sampleRng = tr.rng.Split(2)
+	if cfg.Async.Mode != async.Sync {
+		tr.res.ArrivalLog = &async.Log{}
+	}
+	if cfg.AdaptiveSampling != nil {
+		tr.adaptive = sampling.NewAdaptive(*cfg.AdaptiveSampling, len(tr.groups))
+	}
 	return tr
 }
 
@@ -154,8 +168,21 @@ func (tr *Trainer) Step() RoundRecord {
 		tr.groups = grouping.FormAll(cfg.Grouping, sys.Edges, sys.Classes, tr.rng.Split(uint64(100+t)))
 		tr.probs = sampling.Probabilities(tr.groups, cfg.Sampling)
 		tr.selCtrs = publishSampling(cfg.Metrics, tr.groups, tr.probs)
+		if tr.adaptive != nil {
+			// The EWMAs are keyed by group identity; a new formation starts
+			// the estimator over from the fresh CoV prior.
+			tr.adaptive.Reset(len(tr.groups))
+		}
 	}
 	groups, probs := tr.groups, tr.probs
+	if tr.adaptive != nil {
+		// Round 0 (or right after a regroup) this returns the CoV-derived
+		// base vector verbatim; afterwards, the EWMA-adapted distribution.
+		// Both sampling and the estimator weights below consume the same
+		// vector, keeping the global estimator consistent with how groups
+		// were actually drawn.
+		probs = tr.adaptive.Mix(tr.probs)
+	}
 
 	// Line 6: sample S_t.
 	s := cfg.SampleGroups
@@ -174,17 +201,57 @@ func (tr *Trainer) Step() RoundRecord {
 	// hands back pooled spaces, consumed by the global aggregation below
 	// and then recycled.
 	tr.spaces = tr.spaces[:0]
+	tr.reports = tr.reports[:0]
+	tr.syncTicks = tr.syncTicks[:0]
 	for range selected {
 		tr.spaces = append(tr.spaces, nil)
+		tr.reports = append(tr.reports, nil)
+		tr.syncTicks = append(tr.syncTicks, 0)
 	}
-	spaces := tr.spaces
+	spaces, reports, syncTicks := tr.spaces, tr.reports, tr.syncTicks
 	parallelEach(len(selected), cfg.MaxParallel, func(si int) {
-		spaces[si] = tr.eng.runGroup(groups[selected[si]], tr.globalParams, t)
+		g := groups[selected[si]]
+		switch cfg.Async.Mode {
+		case async.Buffered:
+			spaces[si], reports[si] = tr.eng.runGroupBuffered(g, tr.globalParams, t)
+		case async.SemiSync:
+			spaces[si], reports[si] = tr.eng.runGroupSemiSync(g, tr.globalParams, t)
+		default:
+			spaces[si] = tr.eng.runGroup(g, tr.globalParams, t)
+			// Observational: price the synchronous barrier on the same
+			// logical clock (identical per-dispatch draws) so tick
+			// comparisons against the async modes are apples-to-apples.
+			syncTicks[si] = tr.eng.syncGroupTicks(g, t)
+		}
 	})
 	for _, sp := range spaces {
 		res.Dropouts += sp.drops
 		res.UplinkBytes += sp.bytes
 		tr.eng.dropsCtr.Add(int64(sp.drops))
+	}
+	// A round's logical time is the slowest selected group (the cloud
+	// barrier); the per-group event logs merge in selection order, which is
+	// deterministic however the groups were scheduled above.
+	roundTicks := int64(0)
+	for si := range selected {
+		ticks := syncTicks[si]
+		if rep := reports[si]; rep != nil {
+			ticks = rep.ticks
+			res.Carryovers += rep.carryovers
+			res.LateDrops += rep.lateDrops
+			res.ArrivalLog.Append(rep.events...)
+		}
+		if ticks > roundTicks {
+			roundTicks = ticks
+		}
+	}
+	res.LogicalTicks += roundTicks
+	if tr.adaptive != nil {
+		// Observe before the global fold below: treeFold consumes the
+		// sp.group buffers in place.
+		for si, gi := range selected {
+			tr.adaptive.Observe(gi, updateNorm(spaces[si].group, tr.globalParams))
+		}
 	}
 
 	// Line 15: global aggregation into the reused double buffer.
@@ -267,6 +334,17 @@ func (tr *Trainer) Step() RoundRecord {
 	return rec
 }
 
+// updateNorm is ‖g − base‖₂, the observed group update magnitude the
+// adaptive sampler treats as utility evidence.
+func updateNorm(g, base []float64) float64 {
+	s := 0.0
+	for i := range g {
+		d := g[i] - base[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
 // Finish runs the final evaluation and seals the Result. The trainer must
 // not be stepped afterwards.
 func (tr *Trainer) Finish() *Result {
@@ -307,6 +385,17 @@ type TrainerState struct {
 	Records []RoundRecord
 	// Scaffold is non-nil when the run trains with SCAFFOLD.
 	Scaffold *ScaffoldCheckpoint
+	// AsyncEvents is the cumulative arrival log in async modes (nil for
+	// sync runs); LogicalTicks, Carryovers, and LateDrops mirror the
+	// Result accumulators. Restoring the log on resume is what makes a
+	// resumed run's complete log byte-identical to the uninterrupted one.
+	AsyncEvents  []async.Event
+	LogicalTicks int64
+	Carryovers   int
+	LateDrops    int
+	// Adaptive is non-nil when the run samples adaptively: the EWMA
+	// utilities and seen flags at the boundary.
+	Adaptive *sampling.AdaptiveState
 }
 
 // ExportState captures the trainer's state at the current round boundary.
@@ -337,6 +426,16 @@ func (tr *Trainer) ExportState() (*TrainerState, error) {
 	}
 	if sc, ok := tr.local.(*ScaffoldUpdater); ok {
 		st.Scaffold = sc.ExportState()
+	}
+	st.LogicalTicks = tr.res.LogicalTicks
+	st.Carryovers = tr.res.Carryovers
+	st.LateDrops = tr.res.LateDrops
+	if tr.res.ArrivalLog != nil {
+		st.AsyncEvents = append([]async.Event(nil), tr.res.ArrivalLog.Events()...)
+	}
+	if tr.adaptive != nil {
+		ast := tr.adaptive.Export()
+		st.Adaptive = &ast
 	}
 	return st, nil
 }
@@ -390,6 +489,23 @@ func NewTrainerResumed(sys *System, cfg Config, st *TrainerState) (*Trainer, err
 			return nil, errors.New("core: snapshot carries SCAFFOLD state but cfg.Local is not *ScaffoldUpdater")
 		}
 		sc.RestoreState(st.Scaffold)
+	}
+	tr.res.LogicalTicks = st.LogicalTicks
+	tr.res.Carryovers = st.Carryovers
+	tr.res.LateDrops = st.LateDrops
+	if len(st.AsyncEvents) > 0 {
+		if tr.res.ArrivalLog == nil {
+			return nil, errors.New("core: snapshot carries an arrival log but the config is synchronous")
+		}
+		tr.res.ArrivalLog.Append(st.AsyncEvents...)
+	}
+	if st.Adaptive != nil {
+		if tr.adaptive == nil {
+			return nil, errors.New("core: snapshot carries adaptive-sampling state but cfg.AdaptiveSampling is nil")
+		}
+		if err := tr.adaptive.Restore(*st.Adaptive); err != nil {
+			return nil, err
+		}
 	}
 	return tr, nil
 }

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/sampling"
+)
+
+// AsyncPoint is one round of an async-vs-sync cell's accuracy curve.
+type AsyncPoint struct {
+	Round    int
+	Accuracy float64
+}
+
+// AsyncCell is one aggregation mode measured under the straggler storm.
+type AsyncCell struct {
+	// Name identifies the cell; Mode is the aggregation semantics.
+	Name string
+	Mode string
+	// Knobs of the cell.
+	Adaptive      bool
+	Alpha         float64
+	BufferFrac    float64
+	DeadlineTicks int64
+	// Outcomes.
+	FinalAccuracy float64
+	FinalLoss     float64
+	LogicalTicks  int64
+	Carryovers    int
+	LateDrops     int
+	Dropouts      int
+	ArrivalEvents int
+	Curve         []AsyncPoint
+}
+
+// AsyncBenchResult is the -exp async-vs-sync artifact (BENCH_async.json):
+// the same federation trained under synchronous, buffered, and semi-sync
+// aggregation with identical straggler-storm delay draws, plus the gates
+// the CI smoke stage enforces.
+type AsyncBenchResult struct {
+	Scale  string
+	Seed   uint64
+	Delays async.DelayModel
+	Cells  []AsyncCell
+	// Alpha0BitIdentical: buffered with α=0 and a full buffer reproduces
+	// the synchronous weights bit for bit — the structural-equivalence
+	// contract the property tests pin, re-proven on the bench workload.
+	Alpha0BitIdentical bool
+	// BufferedFewerTicks / SemiSyncFewerTicks: the async modes finish in
+	// strictly fewer logical ticks than the synchronous barrier.
+	BufferedFewerTicks bool
+	SemiSyncFewerTicks bool
+	// EqualOrBetterAccuracy: the best async cell's final accuracy is at
+	// least the synchronous cell's.
+	EqualOrBetterAccuracy bool
+	// Pass is the conjunction of every gate.
+	Pass bool
+}
+
+// asyncBenchConfig is the shared job for every cell: same formation,
+// sampling, seeds, and dropout; only cfg.Async (and the adaptive sampler)
+// varies between cells.
+func asyncBenchConfig(sc Scale, seed uint64, mode async.Config, adaptive bool) core.Config {
+	cfg := sc.BaseConfig(CIFAR, seed)
+	cfg.Grouping = grouping.CoVGrouping{Config: grouping.Config{
+		MinGS: sc.MinGS, MaxCoV: sc.MaxCoV, MergeLeftover: true}}
+	cfg.Sampling = sampling.ESRCoV
+	cfg.Weights = sampling.Biased
+	cfg.Async = mode
+	if adaptive {
+		cfg.AdaptiveSampling = &sampling.AdaptiveConfig{Beta: 0.3, Explore: 0.1}
+	}
+	return cfg
+}
+
+// asyncCell runs one mode and records its outcomes.
+func asyncCell(sc Scale, seed uint64, name string, mode async.Config, adaptive bool, logf func(string)) (AsyncCell, *core.Result) {
+	sys := sc.NewSystem(CIFAR, 0.05, seed)
+	res := core.Train(sys, asyncBenchConfig(sc, seed, mode, adaptive))
+	cell := AsyncCell{
+		Name: name, Mode: mode.Mode.String(), Adaptive: adaptive,
+		Alpha: mode.Alpha, BufferFrac: mode.BufferFrac, DeadlineTicks: mode.DeadlineTicks,
+		FinalAccuracy: res.FinalAccuracy, FinalLoss: res.FinalLoss,
+		LogicalTicks: res.LogicalTicks,
+		Carryovers:   res.Carryovers, LateDrops: res.LateDrops,
+		Dropouts: res.Dropouts,
+	}
+	if res.ArrivalLog != nil {
+		cell.ArrivalEvents = res.ArrivalLog.Len()
+	}
+	for _, r := range res.Records {
+		cell.Curve = append(cell.Curve, AsyncPoint{Round: r.Round, Accuracy: r.Accuracy})
+	}
+	logf("cell " + name + ": " + cellSummary(cell))
+	return cell, res
+}
+
+func cellSummary(c AsyncCell) string {
+	return fmt.Sprintf("mode=%s adaptive=%v acc=%.4f ticks=%d carry=%d late=%d events=%d",
+		c.Mode, c.Adaptive, c.FinalAccuracy, c.LogicalTicks, c.Carryovers, c.LateDrops, c.ArrivalEvents)
+}
+
+// AsyncVsSync runs the async-vs-sync grid under the straggler-storm delay
+// model: a synchronous reference (its barrier priced on the same logical
+// clock), buffered FedBuff cells with and without adaptive sampling, a
+// semi-sync cell, and the α=0 full-buffer equivalence probe.
+func AsyncVsSync(sc Scale, seed uint64, logf func(string)) *AsyncBenchResult {
+	if logf == nil {
+		logf = func(string) {}
+	}
+	storm := async.StragglerStorm()
+	deadline := int64(60)
+
+	syncCell, syncRes := asyncCell(sc, seed, "sync",
+		async.Config{Delays: storm}, false, logf)
+	bufCell, _ := asyncCell(sc, seed, "buffered",
+		async.Config{Mode: async.Buffered, Alpha: 0.5, BufferFrac: 0.5, Delays: storm}, false, logf)
+	adaCell, _ := asyncCell(sc, seed, "buffered-adaptive",
+		async.Config{Mode: async.Buffered, Alpha: 0.5, BufferFrac: 0.5, Delays: storm}, true, logf)
+	semiCell, _ := asyncCell(sc, seed, "semisync",
+		async.Config{Mode: async.SemiSync, Alpha: 0.5, DeadlineTicks: deadline, Delays: storm}, false, logf)
+	probeCell, probeRes := asyncCell(sc, seed, "buffered-alpha0-full",
+		async.Config{Mode: async.Buffered, Alpha: 0, BufferFrac: 1, Delays: storm}, false, logf)
+
+	res := &AsyncBenchResult{
+		Scale: sc.Name, Seed: seed, Delays: storm,
+		Cells: []AsyncCell{syncCell, bufCell, adaCell, semiCell, probeCell},
+	}
+	res.Alpha0BitIdentical = len(probeRes.Params) == len(syncRes.Params)
+	for i := range syncRes.Params {
+		if math.Float64bits(probeRes.Params[i]) != math.Float64bits(syncRes.Params[i]) {
+			res.Alpha0BitIdentical = false
+			break
+		}
+	}
+	res.BufferedFewerTicks = bufCell.LogicalTicks < syncCell.LogicalTicks
+	res.SemiSyncFewerTicks = semiCell.LogicalTicks < syncCell.LogicalTicks
+	best := bufCell.FinalAccuracy
+	if adaCell.FinalAccuracy > best {
+		best = adaCell.FinalAccuracy
+	}
+	if semiCell.FinalAccuracy > best {
+		best = semiCell.FinalAccuracy
+	}
+	res.EqualOrBetterAccuracy = best >= syncCell.FinalAccuracy
+	res.Pass = res.Alpha0BitIdentical && res.BufferedFewerTicks &&
+		res.SemiSyncFewerTicks && res.EqualOrBetterAccuracy
+	return res
+}

@@ -1,0 +1,216 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/faultnet"
+	"repro/internal/fednode"
+	"repro/internal/grouping"
+	"repro/internal/metrics"
+	"repro/internal/sampling"
+)
+
+// asyncScenarioConfig is the shared job the async chaos runs under: the
+// same shape as baseJobConfig, but driven through core.Train directly so
+// the aggregation mode (and its logical clock) is in play. DropoutProb is
+// zero on purpose — with no dropouts every dispatched update must arrive,
+// which is what makes the fold accounting closed-form.
+func asyncScenarioConfig(reg *metrics.Registry, mode async.Config) core.Config {
+	return core.Config{
+		GlobalRounds: 3, GroupRounds: 2, LocalEpochs: 1,
+		BatchSize: 16, LR: 0.05, SampleGroups: 2,
+		Grouping:    grouping.CoVGrouping{Config: grouping.Config{MinGS: 3, MaxCoV: 0.5, MergeLeftover: true}},
+		Sampling:    sampling.ESRCoV,
+		Weights:     sampling.Biased,
+		Seed:        42,
+		CostProfile: cost.CIFARProfile(),
+		CostOps:     cost.DefaultOps(),
+		MaxParallel: 2,
+		Metrics:     reg,
+		Async:       mode,
+	}
+}
+
+// asyncReport shapes a core.Result into the fednode.Report the chaos
+// harness prints and verifies.
+func asyncReport(res *core.Result) *fednode.Report {
+	rep := &fednode.Report{
+		FinalAccuracy: res.FinalAccuracy,
+		FinalLoss:     res.FinalLoss,
+		Params:        res.Params,
+		RoundsRun:     res.RoundsRun,
+		Dropouts:      res.Dropouts,
+	}
+	for _, r := range res.Records {
+		rep.Rounds = append(rep.Rounds, fednode.RoundStat{
+			Round: r.Round, Accuracy: r.Accuracy, Loss: r.Loss,
+		})
+	}
+	return rep
+}
+
+// recordArrivals republishes a run's arrival log through the faultnet log,
+// one event per arrival-log entry, tagged with the mode so the buffered
+// and semi-sync halves of the run stay distinguishable in the rendered
+// artifact. Frame is the position in the (deterministic) arrival log, so
+// the sorted rendering preserves the replay order exactly.
+func recordArrivals(log *faultnet.Log, mode async.Mode, events []async.Event) {
+	for i, e := range events {
+		log.Record(faultnet.Event{
+			Link:   fmt.Sprintf("%s/group/%d→cloud", mode, e.Group),
+			Frame:  int64(i),
+			Action: faultnet.Action(e.Kind.String()),
+			Type:   "AsyncUpdate",
+			Round:  e.Round,
+			Seq:    e.Stale,
+			Detail: fmt.Sprintf("client=%d tick=%d stale=%d", e.Client, e.Tick, e.Stale),
+		})
+	}
+}
+
+// sumFlushFolds totals the per-flush fold counts (Flush events carry the
+// number of updates folded in Stale).
+func sumFlushFolds(events []async.Event) int {
+	total := 0
+	for _, e := range events {
+		if e.Kind == async.Flush {
+			total += e.Stale
+		}
+	}
+	return total
+}
+
+// stragglerStormAsync prices the synchronous barrier against buffered and
+// semi-sync aggregation under the straggler-storm delay model — same
+// federation, same training seeds, same per-dispatch delay draws. The
+// invariants are exact, not statistical: with zero dropout every arrival
+// folds exactly once (Σ flush folds == arrivals), semi-sync's clock is
+// closed-form (T·K·D), carryover/late counts agree between the result, the
+// arrival log, and the fel_async_* counters, and both async modes finish in
+// strictly fewer logical ticks than the sync barrier.
+func stragglerStormAsync() Scenario {
+	return Scenario{
+		Name:  "straggler-storm-async",
+		About: "buffered + semi-sync vs the sync barrier under straggler delays: exact fold/carryover accounting, strictly fewer ticks",
+		RunFunc: func(logf func(format string, args ...any)) (*Result, error) {
+			sys := baseSystem(24, 1)
+			storm := async.StragglerStorm()
+
+			logf("straggler-storm-async: pricing the synchronous barrier")
+			syncRes := core.Train(sys, asyncScenarioConfig(nil, async.Config{Delays: storm}))
+			if syncRes.LogicalTicks <= 0 {
+				return nil, fmt.Errorf("sync run priced no logical ticks")
+			}
+
+			logf("straggler-storm-async: buffered run (alpha=0.5, frac=0.5)")
+			reg := metrics.New()
+			bufRes := core.Train(sys, asyncScenarioConfig(reg, async.Config{
+				Mode: async.Buffered, Alpha: 0.5, BufferFrac: 0.5, Delays: storm,
+			}))
+
+			const deadline = 30
+			logf("straggler-storm-async: semi-sync run (deadline=%d)", deadline)
+			semiReg := metrics.New()
+			semiRes := core.Train(sys, asyncScenarioConfig(semiReg, async.Config{
+				Mode: async.SemiSync, Alpha: 0.5, DeadlineTicks: deadline, Delays: storm,
+			}))
+
+			// Exact fold accounting: no dropouts, so every event in either
+			// log that arrived in time is folded exactly once.
+			for _, run := range []struct {
+				name string
+				res  *core.Result
+			}{{"buffered", bufRes}, {"semisync", semiRes}} {
+				counts := run.res.ArrivalLog.Counts()
+				if counts[async.Drop] != 0 || run.res.Dropouts != 0 {
+					return nil, fmt.Errorf("%s: dropouts with DropoutProb=0", run.name)
+				}
+				if folds := sumFlushFolds(run.res.ArrivalLog.Events()); folds != counts[async.Arrive] {
+					return nil, fmt.Errorf("%s: %d folds for %d arrivals; every arrival must fold exactly once",
+						run.name, folds, counts[async.Arrive])
+				}
+			}
+
+			// The buffered run must actually exercise staleness (a partial
+			// buffer means later flushes fold lagged dispatches).
+			maxStale := 0
+			for _, e := range bufRes.ArrivalLog.Events() {
+				if e.Kind == async.Arrive && e.Stale > maxStale {
+					maxStale = e.Stale
+				}
+			}
+			if maxStale == 0 {
+				return nil, fmt.Errorf("buffered run observed no staleness; BufferFrac=0.5 should lag some dispatches")
+			}
+
+			// Semi-sync exactness: closed-form clock and carryover/late
+			// agreement across result, arrival log, and counters.
+			semiCounts := semiRes.ArrivalLog.Counts()
+			wantTicks := int64(semiRes.RoundsRun) * 2 * deadline
+			if semiRes.LogicalTicks != wantTicks {
+				return nil, fmt.Errorf("semisync clock %d ticks, want exactly T·K·D = %d", semiRes.LogicalTicks, wantTicks)
+			}
+			if semiRes.Carryovers == 0 {
+				return nil, fmt.Errorf("semisync: no carryovers under straggler delays; deadline %d should be missed", deadline)
+			}
+			if semiRes.Carryovers != semiCounts[async.Carry] {
+				return nil, fmt.Errorf("semisync: result counts %d carryovers, log %d", semiRes.Carryovers, semiCounts[async.Carry])
+			}
+			if semiRes.LateDrops != semiCounts[async.Late] {
+				return nil, fmt.Errorf("semisync: result counts %d late drops, log %d", semiRes.LateDrops, semiCounts[async.Late])
+			}
+			if got := semiReg.CounterValue("fel_async_carryover_total"); got != int64(semiRes.Carryovers) {
+				return nil, fmt.Errorf("semisync: fel_async_carryover_total = %d, want %d", got, semiRes.Carryovers)
+			}
+			if got := semiReg.CounterValue("fel_async_late_total"); got != int64(semiRes.LateDrops) {
+				return nil, fmt.Errorf("semisync: fel_async_late_total = %d, want %d", got, semiRes.LateDrops)
+			}
+
+			// The point of the exercise: the barrier pays Σ_k max while the
+			// async modes overlap waves — strictly fewer ticks, same storm.
+			if bufRes.LogicalTicks >= syncRes.LogicalTicks {
+				return nil, fmt.Errorf("buffered took %d ticks, sync %d; async must be strictly faster",
+					bufRes.LogicalTicks, syncRes.LogicalTicks)
+			}
+			if semiRes.LogicalTicks >= syncRes.LogicalTicks {
+				return nil, fmt.Errorf("semisync took %d ticks, sync %d; deadlines must beat the barrier",
+					semiRes.LogicalTicks, syncRes.LogicalTicks)
+			}
+			logf("straggler-storm-async: ticks sync=%d buffered=%d semisync=%d, carryovers=%d late=%d",
+				syncRes.LogicalTicks, bufRes.LogicalTicks, semiRes.LogicalTicks,
+				semiRes.Carryovers, semiRes.LateDrops)
+
+			log := &faultnet.Log{}
+			recordArrivals(log, async.Buffered, bufRes.ArrivalLog.Events())
+			recordArrivals(log, async.SemiSync, semiRes.ArrivalLog.Events())
+			return &Result{
+				Report:   asyncReport(bufRes),
+				Log:      log,
+				Registry: reg,
+			}, nil
+		},
+		Expect: func(r *Result) error {
+			if r.Report.RoundsRun != 3 {
+				return fmt.Errorf("buffered run completed %d rounds, want 3", r.Report.RoundsRun)
+			}
+			counts := r.Log.Counts()
+			arrives := counts[faultnet.Action(async.Arrive.String())]
+			if arrives == 0 {
+				return fmt.Errorf("no arrive events in the replay log")
+			}
+			// The buffered half of the log must agree with the run's own
+			// fold counter: the log is the replay artifact, the counter the
+			// operator's view, and they must not drift.
+			if folds := r.Counter("fel_async_folds_total"); folds == 0 || folds > int64(arrives) {
+				return fmt.Errorf("fel_async_folds_total = %d with %d arrivals across both modes", folds, arrives)
+			}
+			if r.Counter("fel_async_flushes_total") == 0 {
+				return fmt.Errorf("buffered run flushed nothing")
+			}
+			return nil
+		},
+	}
+}

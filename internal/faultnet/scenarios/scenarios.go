@@ -47,6 +47,7 @@ func All() []Scenario {
 		clientCrashRestart(),
 		edgePartitionHeal(),
 		stragglerStorm(),
+		stragglerStormAsync(),
 		slowLinks(),
 		mixed(),
 	}

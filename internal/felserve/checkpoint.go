@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/async"
 	"repro/internal/core"
+	"repro/internal/sampling"
 	"repro/internal/wire"
 )
 
@@ -31,6 +33,20 @@ import (
 //	                      Floats=c (present only for SCAFFOLD jobs)
 //	Seq 5  scaffold c_i   From=client id; Floats=c_i (one per client,
 //	                      ascending id)
+//	Seq 6  async          Ints=[mode, adaptive01]; Words=[baseTicks,
+//	                      jitterTicks, stragglerFactor, deadlineTicks,
+//	                      stragglerProbBits, alphaBits, bufferFracBits,
+//	                      adaptiveBetaBits, adaptiveExploreBits,
+//	                      logicalTicks, carryovers, lateDrops] (present only
+//	                      when the job configures async or adaptive modes)
+//	Seq 7  adaptive       Floats=EWMA norms; Ints=seen flags (present only
+//	                      when the snapshot carries adaptive state)
+//
+// Async jobs additionally append wire.ArrivalLog frames after the
+// Checkpoint frames — the cumulative replay log, chunked, Seq numbering
+// the chunks — so a resumed run's complete log stays byte-identical to the
+// uninterrupted one. Synchronous jobs emit none of the above, which keeps
+// their encoding (and the golden file) byte-for-byte unchanged.
 //
 // EOF terminates the sequence. Decoding is strict: unknown kinds, missing
 // mandatory frames, or cross-frame round disagreement are errors.
@@ -43,6 +59,8 @@ const (
 	ckptParticipation uint32 = 3
 	ckptScaffoldC     uint32 = 4
 	ckptScaffoldCI    uint32 = 5
+	ckptAsync         uint32 = 6
+	ckptAdaptive      uint32 = 7
 )
 
 // checkpointPath is dir/<name>.ckpt.
@@ -137,6 +155,51 @@ func EncodeCheckpoint(w io.Writer, spec JobSpec, st *core.TrainerState) (int, er
 			}
 		}
 	}
+
+	if spec.Async != (async.Config{}) || spec.Adaptive {
+		adaptive01 := int32(0)
+		if spec.Adaptive {
+			adaptive01 = 1
+		}
+		d := spec.Async.Delays
+		if err := emit(&wire.Message{
+			Seq:  ckptAsync,
+			Ints: []int32{int32(spec.Async.Mode), adaptive01},
+			Words: []uint64{
+				uint64(d.BaseTicks), uint64(d.JitterTicks),
+				uint64(d.StragglerFactor), uint64(spec.Async.DeadlineTicks),
+				math.Float64bits(d.StragglerProb),
+				math.Float64bits(spec.Async.Alpha), math.Float64bits(spec.Async.BufferFrac),
+				math.Float64bits(spec.AdaptiveBeta), math.Float64bits(spec.AdaptiveExplore),
+				uint64(st.LogicalTicks), uint64(st.Carryovers), uint64(st.LateDrops),
+			},
+		}); err != nil {
+			return total, err
+		}
+		if st.Adaptive != nil {
+			seenInts := make([]int32, len(st.Adaptive.Seen))
+			for i, s := range st.Adaptive.Seen {
+				if s {
+					seenInts[i] = 1
+				}
+			}
+			if err := emit(&wire.Message{Seq: ckptAdaptive, Floats: st.Adaptive.Norms, Ints: seenInts}); err != nil {
+				return total, err
+			}
+		}
+		// The cumulative arrival log rides as its own frame type so a
+		// recovered job's replay stays byte-identical; an async job with
+		// zero events still gets one empty frame (presence ≠ absence).
+		if spec.Async.Mode != async.Sync {
+			for _, lm := range async.EventsToMessages(st.AsyncEvents, round) {
+				n, err := wire.Encode(w, lm)
+				total += n
+				if err != nil {
+					return total, err
+				}
+			}
+		}
+	}
 	return total, nil
 }
 
@@ -155,7 +218,7 @@ func DecodeCheckpoint(r io.Reader) (JobSpec, *core.TrainerState, error) {
 		if err != nil {
 			return spec, nil, err
 		}
-		if m.Type != wire.Checkpoint {
+		if m.Type != wire.Checkpoint && m.Type != wire.ArrivalLog {
 			return spec, nil, fmt.Errorf("felserve: checkpoint stream has %s frame", m.Type)
 		}
 		if round < 0 {
@@ -163,6 +226,17 @@ func DecodeCheckpoint(r io.Reader) (JobSpec, *core.TrainerState, error) {
 			st.Round = round
 		} else if int(m.Round) != round {
 			return spec, nil, fmt.Errorf("felserve: checkpoint frames disagree on round: %d vs %d", m.Round, round)
+		}
+		if m.Type == wire.ArrivalLog {
+			ev, err := async.EventsFromMessage(m)
+			if err != nil {
+				return spec, nil, fmt.Errorf("felserve: arrival-log frame: %w", err)
+			}
+			if st.AsyncEvents == nil {
+				st.AsyncEvents = []async.Event{}
+			}
+			st.AsyncEvents = append(st.AsyncEvents, ev...)
+			continue
 		}
 		switch m.Seq {
 		case ckptSpec:
@@ -232,6 +306,42 @@ func DecodeCheckpoint(r io.Reader) (JobSpec, *core.TrainerState, error) {
 			}
 			st.Scaffold.ClientIDs = append(st.Scaffold.ClientIDs, int(m.From))
 			st.Scaffold.CI = append(st.Scaffold.CI, m.Floats)
+		case ckptAsync:
+			if len(m.Ints) != 2 || len(m.Words) != 12 {
+				return spec, nil, fmt.Errorf("felserve: malformed async frame (%d ints, %d words)",
+					len(m.Ints), len(m.Words))
+			}
+			spec.Async = async.Config{
+				Mode:          async.Mode(m.Ints[0]),
+				Alpha:         math.Float64frombits(m.Words[5]),
+				BufferFrac:    math.Float64frombits(m.Words[6]),
+				DeadlineTicks: int64(m.Words[3]),
+				Delays: async.DelayModel{
+					BaseTicks:       int64(m.Words[0]),
+					JitterTicks:     int64(m.Words[1]),
+					StragglerProb:   math.Float64frombits(m.Words[4]),
+					StragglerFactor: int64(m.Words[2]),
+				},
+			}
+			spec.Adaptive = m.Ints[1] != 0
+			spec.AdaptiveBeta = math.Float64frombits(m.Words[7])
+			spec.AdaptiveExplore = math.Float64frombits(m.Words[8])
+			st.LogicalTicks = int64(m.Words[9])
+			st.Carryovers = int(m.Words[10])
+			st.LateDrops = int(m.Words[11])
+		case ckptAdaptive:
+			if len(m.Ints) != len(m.Floats) {
+				return spec, nil, fmt.Errorf("felserve: malformed adaptive frame (%d norms, %d seen flags)",
+					len(m.Floats), len(m.Ints))
+			}
+			ad := &sampling.AdaptiveState{Norms: m.Floats, Seen: make([]bool, len(m.Ints))}
+			if ad.Norms == nil {
+				ad.Norms = []float64{}
+			}
+			for i, v := range m.Ints {
+				ad.Seen[i] = v != 0
+			}
+			st.Adaptive = ad
 		default:
 			return spec, nil, fmt.Errorf("felserve: unknown checkpoint frame kind %d", m.Seq)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/async"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/data"
@@ -47,6 +48,27 @@ type JobSpec struct {
 	MaxParallel int
 	// EvalEvery evaluates every n rounds (0/1 = every round).
 	EvalEvery int
+	// Async selects the aggregation semantics (internal/async): sync,
+	// buffered, or semi-sync, plus staleness exponent, buffer fraction,
+	// deadline, and the logical-clock delay model. All scalar fields, so
+	// the knobs ride in the checkpoint's async frame and a recovered job
+	// replays the identical arrival schedule.
+	Async async.Config
+	// Adaptive enables the EWMA adaptive group sampler; Beta is the gain,
+	// Explore the uniform floor (zero Beta means the 0.3 default).
+	Adaptive        bool
+	AdaptiveBeta    float64
+	AdaptiveExplore float64
+}
+
+// adaptiveConfig normalizes the spec's adaptive knobs into the sampler
+// config (shared by Validate and TrainConfig so they can never disagree).
+func (s JobSpec) adaptiveConfig() sampling.AdaptiveConfig {
+	beta := s.AdaptiveBeta
+	if beta <= 0 {
+		beta = 0.3
+	}
+	return sampling.AdaptiveConfig{Beta: beta, Explore: s.AdaptiveExplore}
 }
 
 // Validate rejects specs the trainer would panic on, so Submit can fail
@@ -69,6 +91,14 @@ func (s JobSpec) Validate() error {
 		return fmt.Errorf("felserve: job %q: SampleGroups must be positive", s.Name)
 	case s.DropoutProb < 0 || s.DropoutProb >= 1:
 		return fmt.Errorf("felserve: job %q: DropoutProb must be in [0,1)", s.Name)
+	}
+	if err := s.Async.Validate(); err != nil {
+		return fmt.Errorf("felserve: job %q: %w", s.Name, err)
+	}
+	if s.Adaptive {
+		if err := s.adaptiveConfig().Validate(); err != nil {
+			return fmt.Errorf("felserve: job %q: %w", s.Name, err)
+		}
 	}
 	return nil
 }
@@ -139,6 +169,11 @@ func (s JobSpec) TrainConfig(reg *metrics.Registry) core.Config {
 	if s.Scaffold {
 		cfg.Local = &core.ScaffoldUpdater{NumClients: s.Clients}
 		cfg.CostOps.Scaffold = true
+	}
+	cfg.Async = s.Async
+	if s.Adaptive {
+		ac := s.adaptiveConfig()
+		cfg.AdaptiveSampling = &ac
 	}
 	return cfg
 }

@@ -25,13 +25,14 @@ var MetricSchema = &Analyzer{
 
 // metricLayers are the architectural layers allowed in metric names,
 // mirroring the package structure: core training, wire codec, simulated
-// network, federation node, secure aggregation, fault injection, and the
+// network, federation node, secure aggregation, fault injection, the
 // felserve serving layer (fel_serve_* covers both the service-level schema
-// and the per-job fel_serve_job_* streams).
+// and the per-job fel_serve_job_* streams), and the buffered-async
+// aggregation layer (fel_async_* staleness/buffer/clock instrumentation).
 var metricLayers = map[string]bool{
 	"core": true, "wire": true, "net": true,
 	"fednode": true, "secagg": true, "faultnet": true,
-	"serve": true,
+	"serve": true, "async": true,
 }
 
 // registryMethods maps internal/metrics Registry methods to the suffix rule

@@ -25,9 +25,12 @@ func encodeFrame(tb testing.TB, m *wire.Message) []byte {
 	return buf.Bytes()
 }
 
-// corpusMessages covers all six message types with every vector population
+// corpusMessages covers all nine message types with every vector population
 // the codec distinguishes: floats only, words only, ints only, all three,
-// all empty, and special float values.
+// all empty, and special float values. The Checkpoint entries mirror the
+// felserve spec/async frame shapes and the ArrivalLog entry mirrors the
+// internal/async event encoding (5 ints + 1 word per event), so the fuzzer
+// starts at the exact payload layouts the serving layer persists.
 func corpusMessages() []*wire.Message {
 	return []*wire.Message{
 		{Type: wire.GlobalModel, Round: 0, Seq: 0, From: -1, Floats: []float64{0.5, -1.25, 3e-9}},
@@ -36,6 +39,17 @@ func corpusMessages() []*wire.Message {
 		{Type: wire.ShareReveal, Round: 3, Seq: 0, From: 2, Words: []uint64{5, 6}, Ints: []int32{1}},
 		{Type: wire.GroupAggregate, Round: 4, Seq: 1, From: 0, Floats: []float64{math.Inf(1), math.NaN(), -0.0}},
 		{Type: wire.GlobalAggregate, Round: 5, Seq: 0, From: -1, Floats: []float64{1}, Words: []uint64{2}, Ints: []int32{3}},
+		{Type: wire.Checkpoint, Round: 6, Seq: 0, From: -1,
+			Floats: []float64{0.05, 0, 1.5}, Words: []uint64{0xdeadbeef, 7},
+			Ints: []int32{6, 2, 1, 16, 0, 3, 1, 0, 0, 1, 0}},
+		{Type: wire.JobControl, Round: 0, Seq: 1, From: 12, Ints: []int32{104, 105}},
+		{Type: wire.ArrivalLog, Round: 7, Seq: 0, From: -1,
+			Words: []uint64{12, 30, 30},
+			Ints: []int32{
+				7, 0, 3, 0, 0, // arrive
+				7, 0, 5, 1, 0, // drop
+				7, 0, -1, 2, 2, // flush
+			}},
 	}
 }
 
